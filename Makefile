@@ -1,0 +1,39 @@
+GO ?= go
+
+.PHONY: all build test race bench vet fmt examples reports clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Run every example scenario once.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/legacy-retrofit
+	$(GO) run ./examples/telemetry
+	$(GO) run ./examples/loadbalancer
+	$(GO) run ./examples/ota-update
+	$(GO) run ./examples/xdp-offload
+
+# Regenerate the paper-vs-model reports.
+reports:
+	$(GO) run ./cmd/flexsfp-bench
+
+clean:
+	$(GO) clean ./...

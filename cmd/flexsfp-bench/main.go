@@ -1,0 +1,110 @@
+// Command flexsfp-bench regenerates every table and figure of the
+// FlexSFP paper's evaluation and prints paper-versus-model reports.
+//
+// Usage:
+//
+//	flexsfp-bench                  # run everything
+//	flexsfp-bench -run table1,power
+//	flexsfp-bench -seed 42
+//
+// Experiments: table1, table2, table3, power, linerate, arch, scale,
+// gap, reliability, formfactor, latency, retrofit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flexsfp"
+)
+
+func main() {
+	runList := flag.String("run", "all", "comma-separated experiments to run (all, table1, table2, table3, power, linerate, arch, scale, gap, reliability, formfactor, latency, retrofit)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	selected := func(name string) bool { return all || want[name] }
+	ran := 0
+
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "flexsfp-bench: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	section := func(body string) {
+		fmt.Println(body)
+		ran++
+	}
+
+	if selected("table1") {
+		section(flexsfp.Table1().Render())
+	}
+	if selected("table2") {
+		section(flexsfp.Table2().Render())
+	}
+	if selected("table3") {
+		section(flexsfp.Table3().Render())
+	}
+	if selected("power") {
+		r, err := flexsfp.PowerExperiment(*seed)
+		if err != nil {
+			fail("power", err)
+		}
+		section(r.Render())
+	}
+	if selected("linerate") {
+		r, err := flexsfp.LineRateExperiment(*seed)
+		if err != nil {
+			fail("linerate", err)
+		}
+		section(r.Render())
+	}
+	if selected("arch") {
+		r, err := flexsfp.ArchitectureExperiment(*seed)
+		if err != nil {
+			fail("arch", err)
+		}
+		section(r.Render())
+	}
+	if selected("scale") {
+		section(flexsfp.ScalabilityExperiment().Render())
+	}
+	if selected("gap") {
+		r, err := flexsfp.AccelerationGapExperiment(*seed)
+		if err != nil {
+			fail("gap", err)
+		}
+		section(r.Render())
+	}
+	if selected("reliability") {
+		section(flexsfp.ReliabilityExperiment(*seed).Render())
+	}
+	if selected("formfactor") {
+		section(flexsfp.FormFactorExperiment().Render())
+	}
+	if selected("retrofit") {
+		r, err := flexsfp.RetrofitEconomicsExperiment()
+		if err != nil {
+			fail("retrofit", err)
+		}
+		section(r.Render())
+	}
+	if selected("latency") {
+		r, err := flexsfp.LatencyOverheadExperiment()
+		if err != nil {
+			fail("latency", err)
+		}
+		section(r.Render())
+	}
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "flexsfp-bench: no experiment matched -run=%s\n", *runList)
+		os.Exit(2)
+	}
+}

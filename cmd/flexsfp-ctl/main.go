@@ -1,0 +1,286 @@
+// Command flexsfp-ctl is the fleet-side management client: it speaks the
+// mgmt protocol to a module's TCP management port (flexsfpd) to inspect
+// state, program tables, and push signed bitstreams over the network —
+// the §4.2 reprogramming workflow.
+//
+// Usage:
+//
+//	flexsfp-ctl -addr 127.0.0.1:9461 ping
+//	flexsfp-ctl stats
+//	flexsfp-ctl ddm
+//	flexsfp-ctl slots
+//	flexsfp-ctl table-add -table nat -key 0a010001 -value cb007101
+//	flexsfp-ctl table-dump -table nat
+//	flexsfp-ctl counter -bank stats -index 0
+//	flexsfp-ctl compile -app acl -config '{"default_deny":true}' -out acl.fsfp -key <fleet-key>
+//	flexsfp-ctl push -file acl.fsfp -slot 2 -reboot
+//	flexsfp-ctl reboot -slot 1
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"flexsfp"
+	"flexsfp/internal/apps"
+	"flexsfp/internal/bitstream"
+	"flexsfp/internal/hls"
+	"flexsfp/internal/mgmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flexsfp-ctl: ")
+
+	addr := flag.String("addr", "127.0.0.1:9461", "module management address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("missing subcommand (ping, stats, ddm, eeprom, slots, table-add, table-del, table-get, table-dump, counter, meter-set, reg-read, reg-write, compile, push, reboot)")
+	}
+	cmd, rest := args[0], args[1:]
+
+	// compile is purely local.
+	if cmd == "compile" {
+		compileCmd(rest)
+		return
+	}
+	// fleet-* commands fan out over many modules.
+	if strings.HasPrefix(cmd, "fleet-") {
+		fleetCmd(cmd, rest)
+		return
+	}
+
+	tr, err := mgmt.Dial(*addr)
+	if err != nil {
+		log.Fatalf("connecting to %s: %v", *addr, err)
+	}
+	defer tr.Close()
+	c := mgmt.NewClient(tr)
+
+	switch cmd {
+	case "ping":
+		info, err := c.Ping()
+		check(err)
+		fmt.Printf("module %q device=%d app=%s running=%v\n",
+			info.Name, info.DeviceID, info.AppName, info.Running)
+	case "stats":
+		st, err := c.ReadStats()
+		check(err)
+		fmt.Printf("app=%s slot=%d running=%v\n", st.AppName, st.ActiveSlot, st.Running)
+		fmt.Printf("rx edge/optical/ctrl: %d/%d/%d  tx: %d/%d/%d\n",
+			st.Rx[0], st.Rx[1], st.Rx[2], st.Tx[0], st.Tx[1], st.Tx[2])
+		fmt.Printf("engine: in=%d pass=%d drop=%d tx=%d redirect=%d tocpu=%d qdrop=%d\n",
+			st.Engine.In, st.Engine.Pass, st.Engine.Drop, st.Engine.Tx,
+			st.Engine.Redirect, st.Engine.ToCPU, st.Engine.QueueDrop)
+		fmt.Printf("control frames=%d reboot drops=%d boots=%d auth failures=%d\n",
+			st.ControlFrames, st.RebootDrops, st.Boots, st.AuthFailures)
+	case "ddm":
+		d, err := c.ReadDDM()
+		check(err)
+		fmt.Printf("temp=%.1fC vcc=%.2fV txbias=%.1fmA txpower=%.1fdBm rxpower=%.1fdBm\n",
+			d.TemperatureC, d.VccVolts, d.TxBiasMA, d.TxPowerDBm, d.RxPowerDBm)
+	case "eeprom":
+		id, _, err := c.ReadEEPROM()
+		check(err)
+		fmt.Printf("vendor=%q pn=%q rev=%q sn=%q date=%s 10GBASE-SR=%v ddm=%v\n",
+			id.VendorName, id.VendorPN, id.VendorRev, id.VendorSN,
+			id.DateCode, id.Is10GBaseSR, id.DDMSupported)
+	case "slots":
+		slots, err := c.Slots()
+		check(err)
+		for i, s := range slots {
+			if s == "" {
+				s = "(empty)"
+			}
+			fmt.Printf("slot %d: %s\n", i, s)
+		}
+	case "table-add":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		table := fs.String("table", "", "table name")
+		key := fs.String("key", "", "hex key")
+		value := fs.String("value", "", "hex value")
+		parse(fs, rest)
+		check(c.TableAdd(*table, mustHex(*key), mustHex(*value)))
+		fmt.Println("ok")
+	case "table-del":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		table := fs.String("table", "", "table name")
+		key := fs.String("key", "", "hex key")
+		parse(fs, rest)
+		check(c.TableDel(*table, mustHex(*key)))
+		fmt.Println("ok")
+	case "table-get":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		table := fs.String("table", "", "table name")
+		key := fs.String("key", "", "hex key")
+		parse(fs, rest)
+		v, err := c.TableGet(*table, mustHex(*key))
+		check(err)
+		fmt.Printf("%x\n", v)
+	case "table-dump":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		table := fs.String("table", "", "table name")
+		parse(fs, rest)
+		entries, err := c.TableDump(*table)
+		check(err)
+		for _, e := range entries {
+			fmt.Printf("%x -> %x (hits %d)\n", e.Key, e.Value, e.Hits)
+		}
+		fmt.Printf("%d entries\n", len(entries))
+	case "counter":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		bank := fs.String("bank", "", "counter bank")
+		index := fs.Int("index", 0, "counter index")
+		parse(fs, rest)
+		pkts, bytes, err := c.CounterRead(*bank, *index)
+		check(err)
+		fmt.Printf("packets=%d bytes=%d\n", pkts, bytes)
+	case "meter-set":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		bank := fs.String("bank", "", "meter bank")
+		index := fs.Int("index", 0, "meter index")
+		rate := fs.Float64("rate", 0, "rate (bits/sec)")
+		burst := fs.Float64("burst", 0, "burst (bits)")
+		parse(fs, rest)
+		check(c.MeterSet(*bank, *index, *rate, *burst))
+		fmt.Println("ok")
+	case "reg-read":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		name := fs.String("name", "", "register name")
+		parse(fs, rest)
+		v, err := c.RegRead(*name)
+		check(err)
+		fmt.Println(v)
+	case "reg-write":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		name := fs.String("name", "", "register name")
+		value := fs.Uint64("value", 0, "value")
+		parse(fs, rest)
+		check(c.RegWrite(*name, *value))
+		fmt.Println("ok")
+	case "push":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		file := fs.String("file", "", "signed bitstream file")
+		slot := fs.Int("slot", 2, "flash slot")
+		reboot := fs.Bool("reboot", false, "reboot into the new image")
+		parse(fs, rest)
+		blob, err := os.ReadFile(*file)
+		check(err)
+		check(c.PushBitstream(blob, *slot, *reboot))
+		fmt.Printf("pushed %d bytes to slot %d (reboot=%v)\n", len(blob), *slot, *reboot)
+	case "reboot":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		slot := fs.Int("slot", 0, "flash slot")
+		parse(fs, rest)
+		check(c.Reboot(*slot))
+		fmt.Println("reboot requested")
+	default:
+		log.Fatalf("unknown subcommand %q", cmd)
+	}
+}
+
+// compileCmd builds and signs a bitstream locally.
+func compileCmd(args []string) {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	app := fs.String("app", "", "application name")
+	config := fs.String("config", "", "application config JSON")
+	out := fs.String("out", "app.fsfp", "output file")
+	key := fs.String("key", string(flexsfp.DefaultAuthKey), "fleet HMAC key")
+	clock := fs.Int64("clock-hz", flexsfp.BaseClockHz, "PPE clock")
+	width := fs.Int("width", flexsfp.BaseDatapathBits, "datapath bits")
+	golden := fs.Bool("golden", false, "mark as golden image")
+	parse(fs, args)
+
+	registry := apps.NewRegistry()
+	instance, err := registry.New(*app)
+	check(err)
+	design, err := hls.Compile(instance.Program(), hls.Options{
+		ClockHz: *clock, DatapathBits: *width,
+		Config: []byte(*config), Golden: *golden,
+	})
+	check(err)
+	encoded, err := design.Bitstream.Encode()
+	check(err)
+	signed := bitstream.Sign(encoded, []byte(*key))
+	check(os.WriteFile(*out, signed, 0o644))
+	fmt.Printf("compiled %s: %d LUT4 / %d FF / %d uSRAM / %d LSRAM; wrote %d signed bytes to %s\n",
+		*app, design.Total.LUT4, design.Total.FF, design.Total.USRAM, design.Total.LSRAM,
+		len(signed), *out)
+}
+
+// fleetCmd fans an operation out over a comma-separated address list
+// (§4.1 fleet orchestration).
+func fleetCmd(cmd string, args []string) {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	addrs := fs.String("addrs", "", "comma-separated module management addresses")
+	file := fs.String("file", "", "signed bitstream file (fleet-push)")
+	slot := fs.Int("slot", 2, "flash slot (fleet-push)")
+	reboot := fs.Bool("reboot", false, "reboot after push (fleet-push)")
+	parse(fs, args)
+	if *addrs == "" {
+		log.Fatal("fleet commands need -addrs host:port,host:port,...")
+	}
+	fleet := mgmt.NewFleet()
+	for _, addr := range strings.Split(*addrs, ",") {
+		addr = strings.TrimSpace(addr)
+		tr, err := mgmt.Dial(addr)
+		check(err)
+		defer tr.Close()
+		fleet.Add(addr, tr)
+	}
+	switch cmd {
+	case "fleet-ping":
+		infos, outcomes := fleet.PingAll()
+		for _, name := range fleet.Names() {
+			if info, ok := infos[name]; ok {
+				fmt.Printf("%s: module %q device=%d app=%s running=%v\n",
+					name, info.Name, info.DeviceID, info.AppName, info.Running)
+			}
+		}
+		fmt.Println(mgmt.Summary(outcomes))
+	case "fleet-stats":
+		stats, outcomes := fleet.StatsAll()
+		for _, name := range fleet.Names() {
+			if s, ok := stats[name]; ok {
+				fmt.Printf("%s: app=%s in=%d pass=%d drop=%d qdrop=%d\n",
+					name, s.AppName, s.Engine.In, s.Engine.Pass, s.Engine.Drop, s.Engine.QueueDrop)
+			}
+		}
+		fmt.Println(mgmt.Summary(outcomes))
+	case "fleet-push":
+		blob, err := os.ReadFile(*file)
+		check(err)
+		outcomes := fleet.PushAll(blob, *slot, *reboot)
+		for _, o := range mgmt.Failures(outcomes) {
+			fmt.Printf("%s: FAILED: %v\n", o.Name, o.Err)
+		}
+		fmt.Println(mgmt.Summary(outcomes))
+	default:
+		log.Fatalf("unknown fleet subcommand %q (fleet-ping, fleet-stats, fleet-push)", cmd)
+	}
+}
+
+func parse(fs *flag.FlagSet, args []string) {
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+}
+
+func mustHex(s string) []byte {
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		log.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

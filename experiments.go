@@ -1,0 +1,340 @@
+package flexsfp
+
+import (
+	"fmt"
+
+	"flexsfp/internal/apps"
+	"flexsfp/internal/cost"
+	"flexsfp/internal/fpga"
+	"flexsfp/internal/hls"
+	"flexsfp/internal/netsim"
+	"flexsfp/internal/power"
+	"flexsfp/internal/trafficgen"
+)
+
+// ---------------------------------------------------------------------------
+// Table 1: resource usage for the NAT case study (§5.1).
+
+// Table1Row is one component row.
+type Table1Row struct {
+	Component string
+	Res       fpga.Resources
+}
+
+// Table1Result reproduces the paper's Table 1.
+type Table1Result struct {
+	Rows  []Table1Row
+	Used  fpga.Resources
+	Avail fpga.Resources
+	Util  fpga.Utilization
+	// Paper values for comparison.
+	PaperUsed fpga.Resources
+}
+
+// Table1 synthesizes the NAT design and reports the per-component
+// breakdown against the MPF200T.
+func Table1() Table1Result {
+	var res Table1Result
+	for _, row := range hls.ShellBreakdown(hls.OneWayFilter) {
+		res.Rows = append(res.Rows, Table1Row{row.Name, row.Resources})
+	}
+	natRes := hls.EstimateProgram(apps.NewNAT().Program(), BaseDatapathBits)
+	res.Rows = append(res.Rows, Table1Row{"NAT app", natRes})
+	for _, r := range res.Rows {
+		res.Used = res.Used.Add(r.Res)
+	}
+	res.Avail = fpga.MPF200T.Capacity
+	res.Util = fpga.MPF200T.Utilization(res.Used)
+	res.PaperUsed = fpga.Resources{LUT4: 31455, FF: 25518, USRAM: 278, LSRAM: 164}
+	return res
+}
+
+// Render formats the result like the paper's table.
+func (r Table1Result) Render() string {
+	t := newTable("", "4LUT", "FF", "uSRAM", "LSRAM")
+	for _, row := range r.Rows {
+		t.add(row.Component, row.Res.LUT4, row.Res.FF, row.Res.USRAM, row.Res.LSRAM)
+	}
+	t.add("Used", r.Used.LUT4, r.Used.FF, r.Used.USRAM, r.Used.LSRAM)
+	t.add("Avail.", r.Avail.LUT4, r.Avail.FF, r.Avail.USRAM, r.Avail.LSRAM)
+	// Truncate percentages the way the paper prints them (15%, 26%).
+	t.add("Perc.",
+		fmt.Sprintf("%d%%", int(r.Util.LUT4)), fmt.Sprintf("%d%%", int(r.Util.FF)),
+		fmt.Sprintf("%d%%", int(r.Util.USRAM)), fmt.Sprintf("%d%%", int(r.Util.LSRAM)))
+	t.add("Paper Used", r.PaperUsed.LUT4, r.PaperUsed.FF, r.PaperUsed.USRAM, r.PaperUsed.LSRAM)
+	return "Table 1: NAT case study resource usage (MPF200T)\n" + t.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: literature designs normalized to LE vs the MPF200T (§5.1).
+
+// Table2Row is one design's normalized footprint and fit verdict.
+type Table2Row struct {
+	Name      string
+	LogicLE   int
+	BRAMKbits int
+	Fits      bool
+	Limiting  string
+}
+
+// Table2Result reproduces the paper's Table 2.
+type Table2Result struct {
+	Rows   []Table2Row
+	Device fpga.Device
+}
+
+// Table2 normalizes the cited designs and checks them against the
+// FlexSFP's device.
+func Table2() Table2Result {
+	res := Table2Result{Device: fpga.MPF200T}
+	for _, d := range fpga.LiteratureDesigns() {
+		fits, limiting := d.FitsDevice(fpga.MPF200T)
+		res.Rows = append(res.Rows, Table2Row{
+			Name:      d.Name,
+			LogicLE:   d.NormalizedLE(),
+			BRAMKbits: d.BRAMKbits,
+			Fits:      fits,
+			Limiting:  limiting,
+		})
+	}
+	return res
+}
+
+// Render formats the result like the paper's table plus fit verdicts.
+func (r Table2Result) Render() string {
+	t := newTable("Use case", "Logic (LE)", "BRAM (kbit)", "Fits MPF200T?")
+	for _, row := range r.Rows {
+		verdict := "yes"
+		if !row.Fits {
+			verdict = "no (" + row.Limiting + ")"
+		}
+		t.add(row.Name, fmt.Sprintf("%dk", (row.LogicLE+500)/1000), row.BRAMKbits, verdict)
+	}
+	t.add("FlexSFP (MPF200T)", fmt.Sprintf("%dk", r.Device.LogicElements/1000), r.Device.BRAMKbits, "-")
+	return "Table 2: FPGA resource usage of key designs, normalized to 4-input LE\n" + t.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 3: cost/power per 10 Gb/s slice (§5.2).
+
+// Table3Result reproduces the paper's Table 3.
+type Table3Result struct {
+	Rows   []cost.Solution
+	Claims cost.Claims
+	// BOM breakdown behind the FlexSFP row.
+	BOM             []cost.BOMItem
+	BOMLow, BOMHigh float64
+}
+
+// Table3 evaluates the ideal-scaling comparison.
+func Table3() Table3Result {
+	rows := cost.Table3()
+	low, high := cost.BOMTotal(cost.FlexSFPBOM())
+	return Table3Result{
+		Rows:   rows,
+		Claims: cost.EvaluateClaims(rows),
+		BOM:    cost.FlexSFPBOM(),
+		BOMLow: low, BOMHigh: high,
+	}
+}
+
+// Render formats raw and scaled columns with paper values alongside.
+func (r Table3Result) Render() string {
+	t := newTable("Solution", "Raw $", "Raw W", "$/10G (model)", "W/10G (model)", "$/10G (paper)", "W/10G (paper)")
+	for _, s := range r.Rows {
+		cl, ch := s.Per10GCost()
+		t.add(s.Name,
+			fmt.Sprintf("%.0f-%.0f", s.RawCostLowUSD, s.RawCostHighUSD),
+			fmt.Sprintf("%.1f", s.RawPowerW),
+			fmt.Sprintf("%.0f-%.0f", cl, ch),
+			fmt.Sprintf("%.1f", s.Per10GPower()),
+			fmt.Sprintf("%.0f-%.0f", s.PubPer10GCostLow, s.PubPer10GCostHigh),
+			fmt.Sprintf("%.1f", s.PubPer10GPowerW))
+	}
+	out := "Table 3: raw and ideal-scaled cost/power per 10 Gb/s\n" + t.String()
+	out += fmt.Sprintf("FlexSFP BOM: $%.0f-%.0f prototype; CAPEX saving vs DPU %.0f%%; power ratio vs best SmartNIC %.1fx\n",
+		r.BOMLow, r.BOMHigh, r.Claims.CAPEXSavingVsDPU*100, r.Claims.PowerRatioVsBest)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// §5 power measurement.
+
+// PowerResult reproduces the Thunderbolt-NIC testbed numbers.
+type PowerResult struct {
+	Report power.Report
+	// FlexUtilization is the PPE utilization reached under the stress
+	// test (drives dynamic power).
+	FlexUtilization float64
+	// Paper values.
+	PaperNICOnly, PaperWithSFP, PaperWithFlex float64
+}
+
+// PowerExperiment runs the three-step §5 procedure: baseline, standard
+// SFP under line-rate stress, FlexSFP (NAT, Two-Way-Core) under
+// bidirectional line-rate stress.
+func PowerExperiment(seed int64) (PowerResult, error) {
+	sim := NewSim(seed)
+
+	mod, _, err := BuildModule(sim, ModuleSpec{
+		Name: "power-dut", DeviceID: 1, Shell: TwoWayCore, App: "nat",
+	})
+	if err != nil {
+		return PowerResult{}, err
+	}
+	mod.SetTx(0, func([]byte) {})
+	mod.SetTx(1, func([]byte) {})
+
+	// Bidirectional line-rate minimum-size stress for 1 ms of sim time.
+	pps := 14_880_952.0
+	gen1 := trafficgen.New(sim, trafficgen.Config{PPS: pps}, func(b []byte) bool {
+		mod.RxEdge(b)
+		return true
+	})
+	gen2 := trafficgen.New(sim, trafficgen.Config{PPS: pps}, func(b []byte) bool {
+		mod.RxOptical(b)
+		return true
+	})
+	gen1.Run(0)
+	gen2.Run(0)
+	sim.RunFor(netsim.Millisecond)
+	gen1.Stop()
+	gen2.Stop()
+	sim.RunFor(10 * netsim.Microsecond)
+
+	flexW := mod.PowerW()
+	util := mod.Engine().Utilization()
+
+	tb := power.NewTestbed(sim)
+	// A standard SFP draws its constant figure under the same stress.
+	rep := tb.Run(0.893, flexW, 500)
+	return PowerResult{
+		Report:          rep,
+		FlexUtilization: util,
+		PaperNICOnly:    3.800, PaperWithSFP: 4.693, PaperWithFlex: 5.320,
+	}, nil
+}
+
+// Render formats the measurement report.
+func (r PowerResult) Render() string {
+	t := newTable("Step", "Model (W)", "Paper (W)")
+	t.add("NIC only", fmt.Sprintf("%.3f", r.Report.NICOnly.MeanW), fmt.Sprintf("%.3f", r.PaperNICOnly))
+	t.add("NIC + SFP (stress)", fmt.Sprintf("%.3f", r.Report.WithSFP.MeanW), fmt.Sprintf("%.3f", r.PaperWithSFP))
+	t.add("NIC + FlexSFP (stress)", fmt.Sprintf("%.3f", r.Report.WithFlex.MeanW), fmt.Sprintf("%.3f", r.PaperWithFlex))
+	out := "Power measurement (§5): Thunderbolt NIC testbed\n" + t.String()
+	out += fmt.Sprintf("Deltas: SFP %.3f W (~.9), FlexSFP %.3f W (~1.5), increase over SFP %.3f W (~.7); PPE utilization %.2f\n",
+		r.Report.DeltaSFP, r.Report.DeltaFlex, r.Report.FlexOverSFP, r.FlexUtilization)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// §5.1 line-rate verification.
+
+// LineRatePoint is one frame-size measurement.
+type LineRatePoint struct {
+	Label        string
+	FrameSize    int // 0 for IMIX
+	OfferedPPS   float64
+	DeliveredPPS float64
+	GoodputGbps  float64
+	Drops        uint64
+	LineRate     bool // delivered ≥ 99.5% of offered
+}
+
+// LineRateResult is the full sweep.
+type LineRateResult struct {
+	Points []LineRatePoint
+}
+
+// LineRateExperiment drives the NAT module at 10G line rate across frame
+// sizes (the §5.1 "simple end-to-end test, which confirmed line-rate
+// performance").
+func LineRateExperiment(seed int64) (LineRateResult, error) {
+	var res LineRateResult
+	type c struct {
+		label string
+		sizes []trafficgen.IMIXEntry
+		size  int
+	}
+	cases := []c{
+		{"64B", []trafficgen.IMIXEntry{{Size: 64, Weight: 1}}, 64},
+		{"128B", []trafficgen.IMIXEntry{{Size: 128, Weight: 1}}, 128},
+		{"256B", []trafficgen.IMIXEntry{{Size: 256, Weight: 1}}, 256},
+		{"512B", []trafficgen.IMIXEntry{{Size: 512, Weight: 1}}, 512},
+		{"1024B", []trafficgen.IMIXEntry{{Size: 1024, Weight: 1}}, 1024},
+		{"1518B", []trafficgen.IMIXEntry{{Size: 1518, Weight: 1}}, 1518},
+		{"IMIX", trafficgen.SimpleIMIX(), 0},
+	}
+	for _, tc := range cases {
+		sim := NewSim(seed)
+		mod, _, err := BuildModule(sim, ModuleSpec{
+			Name: "lr-dut", DeviceID: 1, Shell: TwoWayCore, App: "nat",
+			Config: apps.NATConfig{Mappings: []apps.NATMapping{
+				{Internal: "10.1.0.1", External: "203.0.113.1"},
+			}},
+		})
+		if err != nil {
+			return res, err
+		}
+		meter := netsim.NewRateMeter(sim)
+		mod.SetTx(1, func(b []byte) { meter.Observe(len(b)) })
+		mod.SetTx(0, func([]byte) {})
+
+		// Offered rate: line rate for the mean frame size of the mix.
+		mean := 64.0
+		if tc.size > 0 {
+			mean = float64(tc.size)
+		} else {
+			total, weight := 0, 0
+			for _, e := range tc.sizes {
+				total += e.Size * e.Weight
+				weight += e.Weight
+			}
+			mean = float64(total) / float64(weight)
+		}
+		pps := 10e9 / ((mean + 20) * 8)
+		// Traffic reaches the module through an actual 10G wire: the
+		// link's serialization enforces the physical per-frame spacing a
+		// real tester is bound by (a mean-paced generator would otherwise
+		// burst mixed-size traffic above wire rate).
+		wire := netsim.NewLink(sim, 10_000_000_000, 0, mod.RxEdge)
+		gen := trafficgen.New(sim, trafficgen.Config{
+			PPS: pps, Sizes: tc.sizes, Flows: 32,
+		}, func(b []byte) bool {
+			return wire.Send(b)
+		})
+		gen.Run(0)
+		sim.RunFor(netsim.Millisecond)
+		gen.Stop()
+		sim.RunFor(100 * netsim.Microsecond)
+
+		deliveredPPS := float64(meter.Frames) / netsim.Duration(netsim.Millisecond).Seconds()
+		res.Points = append(res.Points, LineRatePoint{
+			Label:        tc.label,
+			FrameSize:    tc.size,
+			OfferedPPS:   float64(gen.Sent) / netsim.Duration(netsim.Millisecond).Seconds(),
+			DeliveredPPS: deliveredPPS,
+			GoodputGbps:  float64(meter.Bytes) * 8 / netsim.Duration(netsim.Millisecond).Seconds() / 1e9,
+			Drops:        mod.Engine().Stats().QueueDrop,
+			LineRate:     mod.Engine().Stats().QueueDrop == 0,
+		})
+	}
+	return res, nil
+}
+
+// Render formats the sweep.
+func (r LineRateResult) Render() string {
+	t := newTable("Frames", "Offered (Mpps)", "Delivered (Mpps)", "Goodput (Gb/s)", "Drops", "Line rate?")
+	for _, p := range r.Points {
+		ok := "yes"
+		if !p.LineRate {
+			ok = "NO"
+		}
+		t.add(p.Label,
+			fmt.Sprintf("%.3f", p.OfferedPPS/1e6),
+			fmt.Sprintf("%.3f", p.DeliveredPPS/1e6),
+			fmt.Sprintf("%.3f", p.GoodputGbps),
+			p.Drops, ok)
+	}
+	return "Line-rate verification (§5.1): NAT at 10 Gb/s\n" + t.String()
+}

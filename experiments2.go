@@ -1,0 +1,388 @@
+package flexsfp
+
+import (
+	"fmt"
+	"sort"
+
+	"flexsfp/internal/apps"
+	"flexsfp/internal/baseline"
+	"flexsfp/internal/core"
+	"flexsfp/internal/fpga"
+	"flexsfp/internal/hls"
+	"flexsfp/internal/netsim"
+	"flexsfp/internal/phy"
+	"flexsfp/internal/reliability"
+	"flexsfp/internal/trafficgen"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 1 / §4.1: architecture comparison under bidirectional load.
+
+// ArchPoint is one architecture × clock configuration.
+type ArchPoint struct {
+	Shell         hls.Shell
+	ClockMHz      float64
+	Bidirectional bool
+	// DeliveredFrac is delivered/offered across both directions.
+	DeliveredFrac float64
+	// PPEFrac is the fraction of traffic that traversed the PPE (the
+	// One-Way-Filter only processes one direction).
+	PPEFrac float64
+	PeakW   float64
+}
+
+// ArchitectureResult compares the Figure-1 shells.
+type ArchitectureResult struct {
+	Points []ArchPoint
+}
+
+// ArchitectureExperiment loads each shell with minimum-size line-rate
+// traffic and measures what survives: One-Way-Filter carries both
+// directions at 156.25 MHz (only one through the PPE); Two-Way-Core at
+// the same clock saturates ("aggregating traffic from both interfaces
+// effectively doubles the packet rate", §4.1); doubling the clock
+// restores line rate.
+func ArchitectureExperiment(seed int64) (ArchitectureResult, error) {
+	var res ArchitectureResult
+	type cfg struct {
+		shell hls.Shell
+		clock int64
+		bidir bool
+	}
+	cases := []cfg{
+		{hls.OneWayFilter, BaseClockHz, false},
+		{hls.OneWayFilter, BaseClockHz, true},
+		{hls.TwoWayCore, BaseClockHz, false},
+		{hls.TwoWayCore, BaseClockHz, true},
+		{hls.TwoWayCore, 2 * BaseClockHz, true},
+	}
+	for _, tc := range cases {
+		sim := NewSim(seed)
+		mod, _, err := BuildModule(sim, ModuleSpec{
+			Name: "arch-dut", DeviceID: 1, Shell: tc.shell, App: "nat",
+			ClockHz: tc.clock,
+		})
+		if err != nil {
+			return res, err
+		}
+		var delivered uint64
+		mod.SetTx(0, func([]byte) { delivered++ })
+		mod.SetTx(1, func([]byte) { delivered++ })
+
+		pps := phy.LineRatePPS(phy.DataRateBps, 64)
+		var offered uint64
+		genE := trafficgen.New(sim, trafficgen.Config{PPS: pps}, func(b []byte) bool {
+			offered++
+			mod.RxEdge(b)
+			return true
+		})
+		genE.Run(0)
+		var genO *trafficgen.Generator
+		if tc.bidir {
+			genO = trafficgen.New(sim, trafficgen.Config{PPS: pps}, func(b []byte) bool {
+				offered++
+				mod.RxOptical(b)
+				return true
+			})
+			genO.Run(0)
+		}
+		sim.RunFor(netsim.Millisecond)
+		genE.Stop()
+		if genO != nil {
+			genO.Stop()
+		}
+		sim.RunFor(50 * netsim.Microsecond)
+
+		ppeFrac := 0.0
+		if offered > 0 {
+			ppeFrac = float64(mod.Engine().Stats().In+mod.Engine().Stats().QueueDrop) / float64(offered)
+		}
+		res.Points = append(res.Points, ArchPoint{
+			Shell:         tc.shell,
+			ClockMHz:      float64(tc.clock) / 1e6,
+			Bidirectional: tc.bidir,
+			DeliveredFrac: float64(delivered) / float64(offered),
+			PPEFrac:       ppeFrac,
+			PeakW:         core.PeakPowerW(tc.clock, BaseDatapathBits, tc.shell),
+		})
+	}
+	return res, nil
+}
+
+// Render formats the comparison.
+func (r ArchitectureResult) Render() string {
+	t := newTable("Shell", "Clock (MHz)", "Load", "Delivered", "Via PPE", "Peak W")
+	for _, p := range r.Points {
+		load := "one-way"
+		if p.Bidirectional {
+			load = "two-way"
+		}
+		t.add(p.Shell.String(), fmt.Sprintf("%.2f", p.ClockMHz), load,
+			fmt.Sprintf("%.1f%%", p.DeliveredFrac*100),
+			fmt.Sprintf("%.1f%%", p.PPEFrac*100),
+			fmt.Sprintf("%.2f", p.PeakW))
+	}
+	return "Architecture comparison (Figure 1, §4.1): 64B line-rate load\n" + t.String()
+}
+
+// ---------------------------------------------------------------------------
+// §5.3 scalability: datapath width × clock → achievable line rate.
+
+// ScalePoint is one (width, clock) design point.
+type ScalePoint struct {
+	DatapathBits int
+	ClockMHz     float64
+	// CapacityGbps is the min-frame-limited sustained rate.
+	CapacityGbps float64
+	// Supports is the highest standard rate sustained (10/25/40/100G).
+	Supports int
+	// NAT design resources at this width, and whether it fits/clocks on
+	// the smallest viable PolarFire part.
+	Device   string
+	Fits     bool
+	TimingOK bool
+	PeakW    float64
+	Thermal  bool // inside the SFP+ 3 W envelope
+}
+
+// ScalabilityResult is the §5.3 sweep.
+type ScalabilityResult struct {
+	Points []ScalePoint
+}
+
+// ScalabilityExperiment sweeps the PPE design space: scaling by widening
+// the datapath and/or raising the clock, with the resource, timing, and
+// thermal consequences §5.3 describes.
+func ScalabilityExperiment() ScalabilityResult {
+	var res ScalabilityResult
+	prog := apps.NewNAT().Program()
+	widths := []int{64, 128, 256, 512}
+	clocks := []int64{BaseClockHz, 2 * BaseClockHz, 400_000_000}
+	rates := []int{10, 25, 40, 50, 100}
+	for _, w := range widths {
+		for _, c := range clocks {
+			// Min-frame capacity: ceil(64/wordBytes)+1 cycles per frame.
+			wordBytes := w / 8
+			cycles := float64((64+wordBytes-1)/wordBytes + 1)
+			pps := float64(c) / cycles
+			// Convert to the line rate this sustains (wire = frame+20B).
+			capGbps := pps * (64 + 20) * 8 / 1e9
+			supports := 0
+			for _, rGbps := range rates {
+				if capGbps >= float64(rGbps)*0.999 {
+					supports = rGbps
+				}
+			}
+			est := hls.EstimateProgram(prog, w).Add(hls.ShellResources(hls.TwoWayCore))
+			dev, err := fpga.SmallestFitting(est)
+			fits := err == nil
+			timingOK := false
+			devName := "-"
+			if fits {
+				devName = dev.Name
+				util := dev.Fit(est).Utilization.Max() / 100
+				timingOK = dev.ClockFeasible(float64(c)/1e6, util, w)
+			}
+			peak := core.PeakPowerW(c, w, hls.TwoWayCore)
+			res.Points = append(res.Points, ScalePoint{
+				DatapathBits: w,
+				ClockMHz:     float64(c) / 1e6,
+				CapacityGbps: capGbps,
+				Supports:     supports,
+				Device:       devName,
+				Fits:         fits,
+				TimingOK:     timingOK,
+				PeakW:        peak,
+				Thermal:      peak <= core.ThermalEnvelopeW,
+			})
+		}
+	}
+	return res
+}
+
+// Render formats the sweep.
+func (r ScalabilityResult) Render() string {
+	t := newTable("Width", "Clock (MHz)", "Capacity (Gb/s)", "Sustains", "Device", "Timing", "Peak W", "SFP+ envelope")
+	for _, p := range r.Points {
+		sus := "-"
+		if p.Supports > 0 {
+			sus = fmt.Sprintf("%dG", p.Supports)
+		}
+		timing := "ok"
+		if !p.TimingOK {
+			timing = "FAIL"
+		}
+		th := "yes"
+		if !p.Thermal {
+			th = "NO"
+		}
+		t.add(fmt.Sprintf("%db", p.DatapathBits), fmt.Sprintf("%.2f", p.ClockMHz),
+			fmt.Sprintf("%.1f", p.CapacityGbps), sus, p.Device, timing,
+			fmt.Sprintf("%.2f", p.PeakW), th)
+	}
+	return "Scalability sweep (§5.3): datapath width × clock\n" + t.String()
+}
+
+// ---------------------------------------------------------------------------
+// §2 acceleration gap: the same micro-task on host CPU / SmartNIC / FlexSFP.
+
+// GapPoint is one path's measured profile.
+type GapPoint struct {
+	Path       string
+	P50, P99   netsim.Duration
+	Throughput float64 // delivered pps
+	PowerW     float64
+	CostUSD    float64
+}
+
+// GapResult quantifies the acceleration gap.
+type GapResult struct {
+	OfferedPPS float64
+	Points     []GapPoint
+}
+
+// AccelerationGapExperiment runs an ACL micro-task at 1 Mpps over the
+// three paths of §2: host CPU (latency/jitter/contention), SmartNIC
+// (cost/power overkill), and the FlexSFP cheap path.
+func AccelerationGapExperiment(seed int64) (GapResult, error) {
+	const offeredPPS = 1_000_000
+	const frames = 20000
+	res := GapResult{OfferedPPS: offeredPPS}
+
+	percentiles := func(lat []netsim.Duration) (p50, p99 netsim.Duration) {
+		if len(lat) == 0 {
+			return 0, 0
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat[len(lat)/2], lat[len(lat)*99/100]
+	}
+
+	// Host CPU path, with 30% background contention.
+	{
+		sim := NewSim(seed)
+		var lat []netsim.Duration
+		h := baseline.NewHostCPU(sim, func(d []byte, l netsim.Duration) { lat = append(lat, l) })
+		h.Contention = 0.3
+		gen := trafficgen.New(sim, trafficgen.Config{PPS: offeredPPS}, func(b []byte) bool {
+			return h.Submit(b)
+		})
+		gen.Run(frames)
+		sim.Run()
+		p50, p99 := percentiles(lat)
+		res.Points = append(res.Points, GapPoint{
+			Path: h.Name(), P50: p50, P99: p99,
+			Throughput: float64(len(lat)) / sim.Now().Seconds(),
+			PowerW:     h.PowerW(), CostUSD: h.CostUSD(),
+		})
+	}
+
+	// SmartNIC path.
+	{
+		sim := NewSim(seed)
+		var lat []netsim.Duration
+		s := baseline.NewSmartNIC(sim, func(d []byte, l netsim.Duration) { lat = append(lat, l) })
+		gen := trafficgen.New(sim, trafficgen.Config{PPS: offeredPPS}, func(b []byte) bool {
+			return s.Submit(b)
+		})
+		gen.Run(frames)
+		sim.Run()
+		p50, p99 := percentiles(lat)
+		res.Points = append(res.Points, GapPoint{
+			Path: s.Name(), P50: p50, P99: p99,
+			Throughput: float64(len(lat)) / sim.Now().Seconds(),
+			PowerW:     s.PowerW(), CostUSD: s.CostUSD(),
+		})
+	}
+
+	// FlexSFP path: the real module running the ACL app.
+	{
+		sim := NewSim(seed)
+		mod, _, err := BuildModule(sim, ModuleSpec{
+			Name: "gap-dut", DeviceID: 1, Shell: TwoWayCore, App: "acl",
+			Config: apps.ACLConfig{Rules: []apps.ACLRule{
+				{DstPort: 22, Proto: 6, Deny: true, Priority: 10},
+			}},
+		})
+		if err != nil {
+			return res, err
+		}
+		var lat []netsim.Duration
+		sent := map[int]netsim.Time{}
+		n := 0
+		mod.SetTx(1, func(b []byte) {
+			lat = append(lat, sim.Now().Sub(sent[len(lat)]))
+		})
+		gen := trafficgen.New(sim, trafficgen.Config{PPS: offeredPPS}, func(b []byte) bool {
+			sent[n] = sim.Now()
+			n++
+			mod.RxEdge(b)
+			return true
+		})
+		gen.Run(frames)
+		sim.Run()
+		p50, p99 := percentiles(lat)
+		res.Points = append(res.Points, GapPoint{
+			Path: "flexsfp", P50: p50, P99: p99,
+			Throughput: float64(len(lat)) / sim.Now().Seconds(),
+			PowerW:     core.PeakPowerW(BaseClockHz, BaseDatapathBits, hls.TwoWayCore),
+			CostUSD:    275,
+		})
+	}
+	return res, nil
+}
+
+// Render formats the gap table.
+func (r GapResult) Render() string {
+	t := newTable("Path", "p50 latency", "p99 latency", "Power (W)", "Cost ($/port)")
+	for _, p := range r.Points {
+		t.add(p.Path,
+			fmt.Sprintf("%.2f µs", float64(p.P50)/1000),
+			fmt.Sprintf("%.2f µs", float64(p.P99)/1000),
+			fmt.Sprintf("%.1f", p.PowerW),
+			fmt.Sprintf("%.0f", p.CostUSD))
+	}
+	return fmt.Sprintf("Acceleration gap (§2): ACL micro-task at %.0f pps\n", r.OfferedPPS) + t.String()
+}
+
+// ---------------------------------------------------------------------------
+// §5.3 reliability: VCSEL wear-out fleet simulation.
+
+// ReliabilityResult wraps the fleet report.
+type ReliabilityResult struct {
+	Report reliability.FleetReport
+	Config reliability.FleetConfig
+}
+
+// ReliabilityExperiment runs the default 10k-module, 10-year fleet.
+func ReliabilityExperiment(seed int64) ReliabilityResult {
+	cfg := reliability.DefaultFleet()
+	return ReliabilityResult{
+		Report: reliability.RunFleet(seed, reliability.DefaultVCSEL(), cfg),
+		Config: cfg,
+	}
+}
+
+// Render formats the fleet report.
+func (r ReliabilityResult) Render() string {
+	rep := r.Report
+	t := newTable("Metric", "Value")
+	t.add("Fleet size", rep.Modules)
+	t.add("Horizon (years)", r.Config.Years)
+	t.add("Laser failures in horizon", rep.Failures)
+	t.add("Detected early via DDM", fmt.Sprintf("%d (%.1f%%)", rep.DetectedEarly,
+		100*float64(rep.DetectedEarly)/float64(max(rep.Failures, 1))))
+	t.add("Sampled MTTF (years)", fmt.Sprintf("%.1f", rep.MTTFYears))
+	t.add("TTF p10/p90 (years)", fmt.Sprintf("%.1f / %.1f", rep.P10Years, rep.P90Years))
+	t.add("Std SFP module swaps ($)", fmt.Sprintf("%.0f", rep.StandardSwapCostUSD))
+	t.add("FlexSFP module swaps ($)", fmt.Sprintf("%.0f", rep.FlexModuleSwapCostUSD))
+	t.add("FlexSFP laser repairs ($)", fmt.Sprintf("%.0f", rep.FlexLaserRepairUSD))
+	t.add("Laser-repair saving", fmt.Sprintf("%.0f%%", rep.LaserRepairSavingFrac*100))
+	return "Reliability (§5.3): VCSEL lognormal wear-out fleet simulation\n" + t.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

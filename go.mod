@@ -1,0 +1,3 @@
+module flexsfp
+
+go 1.24

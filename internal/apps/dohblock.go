@@ -1,0 +1,171 @@
+package apps
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"flexsfp/internal/packet"
+	"flexsfp/internal/ppe"
+)
+
+// DoH-block table capacities.
+const (
+	DoHBlockedNames = 8192
+	DoHResolverIPs  = 1024
+)
+
+// DoHBlockConfig configures P4DDPI-style DNS filtering plus DoH-resolver
+// blocking (the per-subscriber "DoH blocking" policy of §2.1).
+type DoHBlockConfig struct {
+	// BlockedDomains are matched against DNS QNAMEs, including all
+	// subdomains ("ads.example" blocks "x.ads.example").
+	BlockedDomains []string `json:"blocked_domains,omitempty"`
+	// ResolverIPs are known DoH endpoints: TCP/UDP 443 to these is cut.
+	ResolverIPs []string `json:"resolver_ips,omitempty"`
+}
+
+// DoH counter indexes (bank "doh").
+const (
+	DoHDNSBlocked = iota
+	DoHHTTPSBlocked
+	DoHPassed
+	dohCounters
+)
+
+type dohApp struct {
+	prog      *ppe.Program
+	state     *ppe.State
+	names     *ppe.Table // fnv64(qname suffix)(64b) → action(8b)
+	resolvers *ppe.Table // IPv4(32b) → action(8b)
+	ctr       *ppe.CounterBank
+	v         view
+}
+
+// NewDoHBlock builds a DNS/DoH filtering instance.
+func NewDoHBlock() *dohApp {
+	a := &dohApp{state: ppe.NewState()}
+	nameSpec := ppe.TableSpec{Name: "blocked_names", Kind: ppe.TableExact, KeyBits: 64, ValueBits: 8, Size: DoHBlockedNames}
+	resSpec := ppe.TableSpec{Name: "resolvers", Kind: ppe.TableExact, KeyBits: 32, ValueBits: 8, Size: DoHResolverIPs}
+	a.names = a.state.AddTable(nameSpec)
+	a.resolvers = a.state.AddTable(resSpec)
+	a.ctr = a.state.AddCounters("doh", dohCounters)
+	a.prog = &ppe.Program{
+		Name:        "dohblock",
+		Version:     1,
+		ParseLayers: []packet.LayerType{packet.LayerTypeEthernet, packet.LayerTypeIPv4, packet.LayerTypeUDP, packet.LayerTypeDNS},
+		Tables:      []ppe.TableSpec{nameSpec, resSpec},
+		Actions: []ppe.ActionSpec{
+			{Kind: ppe.ActionHash, Bits: 64},
+			{Kind: ppe.ActionCounterBank, Count: dohCounters},
+		},
+		Stages:  3,
+		Handler: ppe.HandlerFunc(a.handle),
+	}
+	return a
+}
+
+// Program implements core.App.
+func (a *dohApp) Program() *ppe.Program { return a.prog }
+
+// State implements core.App.
+func (a *dohApp) State() *ppe.State { return a.state }
+
+// Configure implements core.App.
+func (a *dohApp) Configure(config []byte) error {
+	if len(config) == 0 {
+		return nil
+	}
+	var cfg DoHBlockConfig
+	if err := json.Unmarshal(config, &cfg); err != nil {
+		return fmt.Errorf("dohblock: %w", err)
+	}
+	for _, d := range cfg.BlockedDomains {
+		if err := a.BlockDomain(d); err != nil {
+			return err
+		}
+	}
+	for _, ip := range cfg.ResolverIPs {
+		if err := a.BlockResolver(ip); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BlockDomain adds a domain (and implicitly its subdomains) to the list.
+func (a *dohApp) BlockDomain(domain string) error {
+	domain = strings.ToLower(strings.TrimSuffix(domain, "."))
+	if domain == "" {
+		return fmt.Errorf("dohblock: empty domain")
+	}
+	var key [8]byte
+	binary.BigEndian.PutUint64(key[:], fnv64([]byte(domain)))
+	return a.names.Add(key[:], []byte{1})
+}
+
+// BlockResolver adds a DoH endpoint IP.
+func (a *dohApp) BlockResolver(ip string) error {
+	addr, err := netip.ParseAddr(ip)
+	if err != nil || !addr.Is4() {
+		return fmt.Errorf("dohblock: bad resolver IP %q", ip)
+	}
+	a4 := addr.As4()
+	return a.resolvers.Add(a4[:], []byte{1})
+}
+
+func (a *dohApp) handle(ctx *ppe.Ctx) ppe.Verdict {
+	if !a.v.parse(ctx.Data) || !a.v.isIPv4 {
+		return ppe.VerdictPass
+	}
+	v := &a.v
+
+	// DoH path: HTTPS to a known resolver.
+	if v.dstPort == packet.PortHTTPS &&
+		(v.proto == packet.IPProtocolTCP || v.proto == packet.IPProtocolUDP) {
+		if _, blocked := a.resolvers.Lookup(v.dstIPv4()); blocked {
+			a.ctr.Inc(DoHHTTPSBlocked, len(ctx.Data))
+			return ppe.VerdictDrop
+		}
+	}
+
+	// Plain-DNS path: inspect queries on UDP 53 (only when the full UDP
+	// header is present).
+	if v.proto == packet.IPProtocolUDP && v.dstPort == packet.PortDNS &&
+		v.l4Off != 0 && len(ctx.Data) >= v.l4Off+8 {
+		if a.dnsBlocked(ctx.Data[v.l4Off+8:]) {
+			a.ctr.Inc(DoHDNSBlocked, len(ctx.Data))
+			return ppe.VerdictDrop
+		}
+	}
+
+	a.ctr.Inc(DoHPassed, len(ctx.Data))
+	return ppe.VerdictPass
+}
+
+// dnsBlocked decodes the query and checks the QNAME and every parent
+// suffix against the blocked-name table.
+func (a *dohApp) dnsBlocked(payload []byte) bool {
+	var d packet.DNS
+	if d.DecodeFromBytes(payload) != nil || d.QR {
+		return false
+	}
+	for _, q := range d.Questions {
+		name := strings.ToLower(q.Name)
+		for {
+			var key [8]byte
+			binary.BigEndian.PutUint64(key[:], fnv64([]byte(name)))
+			if _, blocked := a.names.Lookup(key[:]); blocked {
+				return true
+			}
+			dot := strings.IndexByte(name, '.')
+			if dot < 0 {
+				break
+			}
+			name = name[dot+1:]
+		}
+	}
+	return false
+}

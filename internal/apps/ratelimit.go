@@ -1,0 +1,161 @@
+package apps
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net/netip"
+
+	"flexsfp/internal/packet"
+	"flexsfp/internal/ppe"
+)
+
+// RateLimitMeters is the meter-bank size.
+const RateLimitMeters = 256
+
+// RateLimitConfig configures per-source policing ("rate-limiting traffic
+// from selected sources", §3; "basic rate-limiting" per subscriber in the
+// telecom scenario, §2.1).
+type RateLimitConfig struct {
+	Direction string          `json:"direction,omitempty"`
+	Sources   []RateLimitRule `json:"sources,omitempty"`
+	// DefaultRateBps, when nonzero, polices unmatched sources through a
+	// shared meter.
+	DefaultRateBps   float64 `json:"default_rate_bps,omitempty"`
+	DefaultBurstBits float64 `json:"default_burst_bits,omitempty"`
+}
+
+// RateLimitRule assigns a source IP its own token bucket.
+type RateLimitRule struct {
+	SrcIP     string  `json:"src_ip"`
+	RateBps   float64 `json:"rate_bps"`
+	BurstBits float64 `json:"burst_bits"`
+}
+
+// Rate-limit counter indexes (bank "police").
+const (
+	RLConformed = iota
+	RLDropped
+	RLUnmatched
+	rlCounters
+)
+
+// defaultMeterIndex is the shared bucket for unmatched sources.
+const defaultMeterIndex = 0
+
+type ratelimitApp struct {
+	prog       *ppe.Program
+	state      *ppe.State
+	sources    *ppe.Table // srcIP(32b) → meter index(16b)
+	meters     *ppe.MeterBank
+	ctr        *ppe.CounterBank
+	nextMeter  int
+	useDefault bool
+	dir        string
+	v          view
+}
+
+// NewRateLimit builds a policing instance.
+func NewRateLimit() *ratelimitApp {
+	a := &ratelimitApp{state: ppe.NewState(), nextMeter: 1}
+	spec := ppe.TableSpec{Name: "sources", Kind: ppe.TableExact, KeyBits: 32, ValueBits: 16, Size: RateLimitMeters}
+	a.sources = a.state.AddTable(spec)
+	a.meters = a.state.AddMeters("meters", RateLimitMeters)
+	a.ctr = a.state.AddCounters("police", rlCounters)
+	a.prog = &ppe.Program{
+		Name:        "ratelimit",
+		Version:     1,
+		ParseLayers: []packet.LayerType{packet.LayerTypeEthernet, packet.LayerTypeIPv4},
+		Tables:      []ppe.TableSpec{spec},
+		Actions: []ppe.ActionSpec{
+			{Kind: ppe.ActionHash, Bits: 32},
+			{Kind: ppe.ActionMeterBank, Count: RateLimitMeters},
+			{Kind: ppe.ActionCounterBank, Count: rlCounters},
+		},
+		Stages:  2,
+		Handler: ppe.HandlerFunc(a.handle),
+	}
+	return a
+}
+
+// Program implements core.App.
+func (a *ratelimitApp) Program() *ppe.Program { return a.prog }
+
+// State implements core.App.
+func (a *ratelimitApp) State() *ppe.State { return a.state }
+
+// Configure implements core.App.
+func (a *ratelimitApp) Configure(config []byte) error {
+	if len(config) == 0 {
+		return nil
+	}
+	var cfg RateLimitConfig
+	if err := json.Unmarshal(config, &cfg); err != nil {
+		return fmt.Errorf("ratelimit: %w", err)
+	}
+	a.dir = cfg.Direction
+	if cfg.DefaultRateBps > 0 {
+		burst := cfg.DefaultBurstBits
+		if burst == 0 {
+			burst = cfg.DefaultRateBps / 10
+		}
+		if err := a.meters.Configure(defaultMeterIndex, cfg.DefaultRateBps, burst); err != nil {
+			return err
+		}
+		a.useDefault = true
+	}
+	for _, r := range cfg.Sources {
+		if err := a.AddSource(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddSource assigns a fresh meter to a source IP.
+func (a *ratelimitApp) AddSource(r RateLimitRule) error {
+	ip, err := netip.ParseAddr(r.SrcIP)
+	if err != nil || !ip.Is4() {
+		return fmt.Errorf("ratelimit: bad source %q", r.SrcIP)
+	}
+	if a.nextMeter >= RateLimitMeters {
+		return fmt.Errorf("ratelimit: meter bank exhausted")
+	}
+	idx := a.nextMeter
+	a.nextMeter++
+	burst := r.BurstBits
+	if burst == 0 {
+		burst = r.RateBps / 10
+	}
+	if err := a.meters.Configure(idx, r.RateBps, burst); err != nil {
+		return err
+	}
+	ip4 := ip.As4()
+	var vb [2]byte
+	binary.BigEndian.PutUint16(vb[:], uint16(idx))
+	return a.sources.Add(ip4[:], vb[:])
+}
+
+func (a *ratelimitApp) handle(ctx *ppe.Ctx) ppe.Verdict {
+	if !dirEnabled(a.dir, ctx.Dir) {
+		return ppe.VerdictPass
+	}
+	if !a.v.parse(ctx.Data) || !a.v.isIPv4 {
+		return ppe.VerdictPass
+	}
+	idx := -1
+	if val, ok := a.sources.Lookup(a.v.srcIPv4()); ok {
+		idx = int(binary.BigEndian.Uint16(val))
+	} else if a.useDefault {
+		idx = defaultMeterIndex
+	} else {
+		a.ctr.Inc(RLUnmatched, len(ctx.Data))
+		return ppe.VerdictPass
+	}
+	if a.meters.Conform(idx, ctx.TimestampNs, len(ctx.Data)) {
+		a.ctr.Inc(RLConformed, len(ctx.Data))
+		return ppe.VerdictPass
+	}
+	a.ctr.Inc(RLDropped, len(ctx.Data))
+	return ppe.VerdictDrop
+}

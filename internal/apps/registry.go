@@ -1,0 +1,22 @@
+package apps
+
+import "flexsfp/internal/core"
+
+// NewRegistry returns a registry with every catalog application
+// registered under the name its bitstreams carry.
+func NewRegistry() *core.Registry {
+	r := core.NewRegistry()
+	r.Register("nat", func() core.App { return NewNAT() })
+	r.Register("acl", func() core.App { return NewACL() })
+	r.Register("vlan", func() core.App { return NewVLAN() })
+	r.Register("tunnel", func() core.App { return NewTunnel() })
+	r.Register("lb", func() core.App { return NewLB() })
+	r.Register("telemetry", func() core.App { return NewTelemetry() })
+	r.Register("netflow", func() core.App { return NewNetFlow() })
+	r.Register("ratelimit", func() core.App { return NewRateLimit() })
+	r.Register("dohblock", func() core.App { return NewDoHBlock() })
+	r.Register("sanitize", func() core.App { return NewSanitize() })
+	r.Register("monitor", func() core.App { return NewMonitor() })
+	r.Register("xdp", func() core.App { return NewXDPApp() })
+	return r
+}

@@ -1,0 +1,142 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexsfp/internal/core"
+	"flexsfp/internal/packet"
+	"flexsfp/internal/ppe"
+	"flexsfp/internal/xdp"
+)
+
+// configuredApps instantiates every catalog app with a working config.
+func configuredApps(t *testing.T) map[string]core.App {
+	t.Helper()
+	r := NewRegistry()
+	configs := map[string]any{
+		"nat":       NATConfig{Mappings: []NATMapping{{Internal: "10.0.0.1", External: "203.0.113.1"}}},
+		"acl":       ACLConfig{Rules: []ACLRule{{DstPort: 22, Proto: 6, Deny: true, Priority: 1}}},
+		"vlan":      VLANConfig{VLAN: 100},
+		"tunnel":    tunnelConfig(TunnelGRE),
+		"lb":        lbConfig(4),
+		"telemetry": TelemetryConfig{Role: TelemetrySource, DeviceID: 1},
+		"netflow":   NetFlowConfig{},
+		"ratelimit": RateLimitConfig{DefaultRateBps: 1e9, DefaultBurstBits: 1e6},
+		"dohblock":  DoHBlockConfig{BlockedDomains: []string{"x.example"}},
+		"sanitize":  SanitizeConfig{VerifyChecksums: true},
+		"monitor":   MonitorConfig{},
+		"xdp": XDPConfig{Program: xdp.Program{Name: "pass-all", Insns: []xdp.Insn{
+			xdp.MovImm(0, xdp.ActPass), xdp.Exit(),
+		}}},
+	}
+	out := map[string]core.App{}
+	for _, name := range r.Names() {
+		app, err := r.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Configure(mustJSON(t, configs[name])); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = app
+	}
+	return out
+}
+
+// Every app handler must survive arbitrary hostile bytes in both
+// directions without panicking — the PPE sits on the raw wire.
+func TestAllHandlersSurviveGarbage(t *testing.T) {
+	appsByName := configuredApps(t)
+	rng := rand.New(rand.NewSource(17))
+	for name, app := range appsByName {
+		h := app.Program().Handler
+		for i := 0; i < 3000; i++ {
+			n := rng.Intn(200)
+			data := make([]byte, n)
+			rng.Read(data)
+			ctx := &ppe.Ctx{Data: data, Dir: ppe.Direction(i % 2), TimestampNs: uint64(i * 100)}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s panicked on garbage input: %v", name, r)
+					}
+				}()
+				h.HandlePacket(ctx)
+			}()
+		}
+	}
+}
+
+// Every app handler must survive every truncation of a valid frame.
+func TestAllHandlersSurviveTruncation(t *testing.T) {
+	appsByName := configuredApps(t)
+	full := packet.MustBuild(packet.Spec{
+		SrcMAC: macHost, DstMAC: macGW,
+		VLANs: []uint16{7},
+		SrcIP: ipInt, DstIP: ipSrv,
+		Proto: packet.IPProtocolTCP, SrcPort: 1234, DstPort: 443,
+		Payload: []byte("hello"),
+	})
+	for name, app := range appsByName {
+		h := app.Program().Handler
+		for n := 0; n <= len(full); n++ {
+			data := append([]byte(nil), full[:n]...)
+			ctx := &ppe.Ctx{Data: data, Dir: ppe.DirEdgeToOptical, TimestampNs: 1}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s panicked at truncation %d: %v", name, n, r)
+					}
+				}()
+				h.HandlePacket(ctx)
+			}()
+		}
+	}
+}
+
+// Truncations of a DNS query exercise the deep-parse (L7) paths.
+func TestAllHandlersSurviveDNSTruncation(t *testing.T) {
+	appsByName := configuredApps(t)
+	full := dnsQueryFrame(t, "deep.x.example")
+	for name, app := range appsByName {
+		h := app.Program().Handler
+		for n := 0; n <= len(full); n++ {
+			data := append([]byte(nil), full[:n]...)
+			ctx := &ppe.Ctx{Data: data, Dir: ppe.DirEdgeToOptical, TimestampNs: 1}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s panicked at DNS truncation %d: %v", name, n, r)
+					}
+				}()
+				h.HandlePacket(ctx)
+			}()
+		}
+	}
+}
+
+// Mutated (bit-flipped) valid frames exercise deeper parse paths.
+func TestAllHandlersSurviveBitflips(t *testing.T) {
+	appsByName := configuredApps(t)
+	rng := rand.New(rand.NewSource(23))
+	base := dnsQueryFrame(t, "x.example")
+	for name, app := range appsByName {
+		h := app.Program().Handler
+		for i := 0; i < 2000; i++ {
+			mut := append([]byte(nil), base...)
+			for k := 0; k < 1+rng.Intn(5); k++ {
+				mut[rng.Intn(len(mut))] ^= 1 << rng.Intn(8)
+			}
+			ctx := &ppe.Ctx{Data: mut, Dir: ppe.Direction(i % 2), TimestampNs: uint64(i)}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s panicked on bitflipped frame: %v", name, r)
+					}
+				}()
+				h.HandlePacket(ctx)
+			}()
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package apps
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"flexsfp/internal/packet"
+	"flexsfp/internal/ppe"
+)
+
+// SanitizeConfig configures packet sanitization and protocol validation
+// ("removing deprecated headers, blocking malformed packets", §3).
+type SanitizeConfig struct {
+	Direction string `json:"direction,omitempty"`
+	// DropFragments discards IPv4 fragments (common edge policy).
+	DropFragments bool `json:"drop_fragments,omitempty"`
+	// MinTTL drops packets below this TTL/hop limit (0 disables).
+	MinTTL uint8 `json:"min_ttl,omitempty"`
+	// VerifyChecksums recomputes the IPv4 header checksum.
+	VerifyChecksums bool `json:"verify_checksums,omitempty"`
+	// DropIPv6 enforces an IPv4-only access policy (the "per-subscriber
+	// IPv6 filtering" of §2.1).
+	DropIPv6 bool `json:"drop_ipv6,omitempty"`
+}
+
+// Sanitize counter indexes (bank "reasons").
+const (
+	SanPassed = iota
+	SanMalformed
+	SanBadChecksum
+	SanFragment
+	SanLowTTL
+	SanSpoofedSrc
+	SanIPv6Dropped
+	sanCounters
+)
+
+type sanitizeApp struct {
+	prog  *ppe.Program
+	state *ppe.State
+	ctr   *ppe.CounterBank
+	cfg   SanitizeConfig
+	v     view
+}
+
+// NewSanitize builds a sanitizer instance.
+func NewSanitize() *sanitizeApp {
+	a := &sanitizeApp{state: ppe.NewState()}
+	a.ctr = a.state.AddCounters("reasons", sanCounters)
+	a.prog = &ppe.Program{
+		Name:        "sanitize",
+		Version:     1,
+		ParseLayers: []packet.LayerType{packet.LayerTypeEthernet, packet.LayerTypeIPv4, packet.LayerTypeIPv6},
+		Actions: []ppe.ActionSpec{
+			{Kind: ppe.ActionChecksum},
+			{Kind: ppe.ActionCounterBank, Count: sanCounters},
+		},
+		Stages:  2,
+		Handler: ppe.HandlerFunc(a.handle),
+	}
+	return a
+}
+
+// Program implements core.App.
+func (a *sanitizeApp) Program() *ppe.Program { return a.prog }
+
+// State implements core.App.
+func (a *sanitizeApp) State() *ppe.State { return a.state }
+
+// Configure implements core.App.
+func (a *sanitizeApp) Configure(config []byte) error {
+	if len(config) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(config, &a.cfg); err != nil {
+		return fmt.Errorf("sanitize: %w", err)
+	}
+	return nil
+}
+
+func (a *sanitizeApp) drop(reason, n int) ppe.Verdict {
+	a.ctr.Inc(reason, n)
+	return ppe.VerdictDrop
+}
+
+func (a *sanitizeApp) handle(ctx *ppe.Ctx) ppe.Verdict {
+	if !dirEnabled(a.cfg.Direction, ctx.Dir) {
+		return ppe.VerdictPass
+	}
+	n := len(ctx.Data)
+	if !a.v.parse(ctx.Data) {
+		return a.drop(SanMalformed, n)
+	}
+	v := &a.v
+
+	switch {
+	case v.isIPv4:
+		d := ctx.Data
+		l3 := v.l3Off
+		totalLen := int(binary.BigEndian.Uint16(d[l3+2 : l3+4]))
+		if totalLen < v.ipv4HeaderLen() || l3+totalLen > len(d) {
+			return a.drop(SanMalformed, n)
+		}
+		if a.cfg.VerifyChecksums && !packet.VerifyIPv4Checksum(d[l3:]) {
+			return a.drop(SanBadChecksum, n)
+		}
+		ff := binary.BigEndian.Uint16(d[l3+6 : l3+8])
+		if a.cfg.DropFragments && (ff&0x2000 != 0 || ff&0x1fff != 0) {
+			return a.drop(SanFragment, n)
+		}
+		if a.cfg.MinTTL > 0 && d[l3+8] < a.cfg.MinTTL {
+			return a.drop(SanLowTTL, n)
+		}
+		// Land-attack style spoofing: src == dst.
+		if [4]byte(v.srcIPv4()) == [4]byte(v.dstIPv4()) {
+			return a.drop(SanSpoofedSrc, n)
+		}
+	case v.isIPv6:
+		if a.cfg.DropIPv6 {
+			return a.drop(SanIPv6Dropped, n)
+		}
+		if a.cfg.MinTTL > 0 && ctx.Data[v.l3Off+7] < a.cfg.MinTTL {
+			return a.drop(SanLowTTL, n)
+		}
+	}
+
+	a.ctr.Inc(SanPassed, n)
+	return ppe.VerdictPass
+}

@@ -1,0 +1,229 @@
+package apps
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"flexsfp/internal/packet"
+	"flexsfp/internal/ppe"
+)
+
+// Telemetry roles.
+const (
+	TelemetrySource  = "source"  // push the INT shim and the first hop
+	TelemetryTransit = "transit" // append a hop to an existing shim
+	TelemetrySink    = "sink"    // record the path and pop the shim
+)
+
+// TelemetryConfig configures the in-band telemetry app of §3
+// ("Monitoring and Observability"): INT-style metadata insertion with
+// in-line timestamping, bringing observability to infrastructure that
+// cannot otherwise be instrumented.
+type TelemetryConfig struct {
+	Role     string `json:"role"`
+	DeviceID uint32 `json:"device_id"`
+	// SampleShift subsamples at sources: a packet is instrumented when
+	// hash(flow) has SampleShift trailing zero bits (0 = every packet).
+	SampleShift uint8 `json:"sample_shift,omitempty"`
+}
+
+// Telemetry counter indexes (bank "int").
+const (
+	INTInserted = iota
+	INTAppended
+	INTTerminated
+	INTFullSkipped
+	intCounters
+)
+
+// PathRecord is a completed telemetry path collected at a sink.
+type PathRecord struct {
+	Hops       []packet.INTHop
+	CapturedNs uint64
+}
+
+type telemetryApp struct {
+	prog  *ppe.Program
+	state *ppe.State
+	ctr   *ppe.CounterBank
+	cfg   TelemetryConfig
+
+	mu    sync.Mutex
+	paths []PathRecord
+	v     view
+}
+
+// telemetryMaxPaths bounds sink memory.
+const telemetryMaxPaths = 4096
+
+// NewTelemetry builds an INT node instance.
+func NewTelemetry() *telemetryApp {
+	a := &telemetryApp{state: ppe.NewState()}
+	a.ctr = a.state.AddCounters("int", intCounters)
+	a.prog = &ppe.Program{
+		Name:        "telemetry",
+		Version:     1,
+		ParseLayers: []packet.LayerType{packet.LayerTypeEthernet, packet.LayerTypeINT},
+		Actions: []ppe.ActionSpec{
+			{Kind: ppe.ActionPush, Bytes: 4 + packet.INTHopSize},
+			{Kind: ppe.ActionPop, Bytes: 4 + packet.INTMaxHops*packet.INTHopSize},
+			{Kind: ppe.ActionTimestamp},
+			{Kind: ppe.ActionHash, Bits: 32},
+			{Kind: ppe.ActionCounterBank, Count: intCounters},
+		},
+		Stages:  2,
+		Handler: ppe.HandlerFunc(a.handle),
+	}
+	return a
+}
+
+// Program implements core.App.
+func (a *telemetryApp) Program() *ppe.Program { return a.prog }
+
+// State implements core.App.
+func (a *telemetryApp) State() *ppe.State { return a.state }
+
+// Configure implements core.App.
+func (a *telemetryApp) Configure(config []byte) error {
+	if len(config) == 0 {
+		return fmt.Errorf("telemetry: role config required")
+	}
+	var cfg TelemetryConfig
+	if err := json.Unmarshal(config, &cfg); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	switch cfg.Role {
+	case TelemetrySource, TelemetryTransit, TelemetrySink:
+	default:
+		return fmt.Errorf("telemetry: unknown role %q", cfg.Role)
+	}
+	a.cfg = cfg
+	return nil
+}
+
+// Paths drains the collected sink records.
+func (a *telemetryApp) Paths() []PathRecord {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := a.paths
+	a.paths = nil
+	return out
+}
+
+func (a *telemetryApp) handle(ctx *ppe.Ctx) ppe.Verdict {
+	data := ctx.Data
+	if len(data) < 14 {
+		return ppe.VerdictPass
+	}
+	et := packet.EtherType(binary.BigEndian.Uint16(data[12:14]))
+	hop := packet.INTHop{
+		DeviceID:    a.cfg.DeviceID,
+		IngressPort: uint16(ctx.Dir),
+		EgressPort:  uint16(ctx.Dir.Reverse()),
+		TimestampNs: ctx.TimestampNs,
+	}
+
+	switch a.cfg.Role {
+	case TelemetrySource:
+		if et == packet.EtherTypeINT {
+			// Already instrumented upstream: behave as transit.
+			return a.appendHop(ctx, hop)
+		}
+		if a.cfg.SampleShift > 0 && !a.sampled(data) {
+			return ppe.VerdictPass
+		}
+		ctx.Data = pushINT(data, et, hop)
+		a.ctr.Inc(INTInserted, len(ctx.Data))
+		return ppe.VerdictPass
+	case TelemetryTransit:
+		if et != packet.EtherTypeINT {
+			return ppe.VerdictPass
+		}
+		return a.appendHop(ctx, hop)
+	case TelemetrySink:
+		if et != packet.EtherTypeINT {
+			return ppe.VerdictPass
+		}
+		var in packet.INT
+		if in.DecodeFromBytes(data[14:]) != nil {
+			return ppe.VerdictDrop
+		}
+		hops := append(append([]packet.INTHop(nil), in.Hops...), hop)
+		a.record(PathRecord{Hops: hops, CapturedNs: ctx.TimestampNs})
+		ctx.Data = popINT(data, &in)
+		a.ctr.Inc(INTTerminated, len(ctx.Data))
+		return ppe.VerdictPass
+	}
+	return ppe.VerdictPass
+}
+
+func (a *telemetryApp) sampled(data []byte) bool {
+	if !a.v.parse(data) {
+		return false
+	}
+	key := a.v.fiveTupleKey(make([]byte, 0, 13))
+	h := fnv64(key)
+	return h&((1<<a.cfg.SampleShift)-1) == 0
+}
+
+func (a *telemetryApp) appendHop(ctx *ppe.Ctx, hop packet.INTHop) ppe.Verdict {
+	var in packet.INT
+	if in.DecodeFromBytes(ctx.Data[14:]) != nil {
+		return ppe.VerdictDrop
+	}
+	if len(in.Hops) >= packet.INTMaxHops {
+		a.ctr.Inc(INTFullSkipped, len(ctx.Data))
+		return ppe.VerdictPass
+	}
+	// Insert one hop record in place: grow the frame by INTHopSize.
+	old := ctx.Data
+	shimEnd := 14 + 4 + len(in.Hops)*packet.INTHopSize
+	out := make([]byte, len(old)+packet.INTHopSize)
+	copy(out, old[:shimEnd])
+	writeHop(out[shimEnd:], hop)
+	copy(out[shimEnd+packet.INTHopSize:], old[shimEnd:])
+	out[15] = byte(len(in.Hops) + 1) // hop count
+	ctx.Data = out
+	a.ctr.Inc(INTAppended, len(out))
+	return ppe.VerdictPass
+}
+
+func (a *telemetryApp) record(p PathRecord) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.paths) < telemetryMaxPaths {
+		a.paths = append(a.paths, p)
+	}
+}
+
+func writeHop(b []byte, h packet.INTHop) {
+	binary.BigEndian.PutUint32(b[0:4], h.DeviceID)
+	binary.BigEndian.PutUint16(b[4:6], h.IngressPort)
+	binary.BigEndian.PutUint16(b[6:8], h.EgressPort)
+	binary.BigEndian.PutUint64(b[8:16], h.TimestampNs)
+}
+
+// pushINT inserts a shim with one hop after the Ethernet header.
+func pushINT(data []byte, orig packet.EtherType, hop packet.INTHop) []byte {
+	out := make([]byte, len(data)+4+packet.INTHopSize)
+	copy(out[:12], data[:12])
+	binary.BigEndian.PutUint16(out[12:14], uint16(packet.EtherTypeINT))
+	out[14] = packet.INTVersion << 4
+	out[15] = 1
+	binary.BigEndian.PutUint16(out[16:18], uint16(orig))
+	writeHop(out[18:], hop)
+	copy(out[18+packet.INTHopSize:], data[14:])
+	return out
+}
+
+// popINT removes the shim, restoring the original EtherType.
+func popINT(data []byte, in *packet.INT) []byte {
+	shim := 4 + len(in.Hops)*packet.INTHopSize
+	out := make([]byte, len(data)-shim)
+	copy(out[:12], data[:12])
+	binary.BigEndian.PutUint16(out[12:14], uint16(in.OriginalEtherType))
+	copy(out[14:], data[14+shim:])
+	return out
+}

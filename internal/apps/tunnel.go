@@ -1,0 +1,262 @@
+package apps
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+
+	"flexsfp/internal/packet"
+	"flexsfp/internal/ppe"
+)
+
+// Tunnel modes.
+const (
+	TunnelGRE   = "gre"
+	TunnelVXLAN = "vxlan"
+	TunnelIPIP  = "ipip"
+)
+
+// TunnelConfig configures encapsulation: frames from the edge are wrapped
+// toward the optical side; matching tunnel traffic from the optical side
+// is unwrapped ("insert tunneling headers for GRE, VXLAN, or IP-in-IP
+// without involving the host", §3).
+type TunnelConfig struct {
+	Mode     string `json:"mode"`
+	LocalIP  string `json:"local_ip"`
+	RemoteIP string `json:"remote_ip"`
+	LocalMAC string `json:"local_mac"`
+	// GatewayMAC is the next hop toward the tunnel remote.
+	GatewayMAC string `json:"gateway_mac"`
+	VNI        uint32 `json:"vni,omitempty"` // VXLAN
+	GREKey     uint32 `json:"gre_key,omitempty"`
+	TTL        uint8  `json:"ttl,omitempty"`
+	// MTU bounds the encapsulated frame (outer packets carry DF); frames
+	// that would exceed it are dropped and counted. Default 1518.
+	MTU int `json:"mtu,omitempty"`
+}
+
+// Tunnel counter indexes (bank "tunnel").
+const (
+	TunnelEncapped = iota
+	TunnelDecapped
+	TunnelPassed
+	TunnelErrors
+	TunnelTooBig
+	tunnelCounters
+)
+
+type tunnelApp struct {
+	prog  *ppe.Program
+	state *ppe.State
+	ctr   *ppe.CounterBank
+
+	mode            string
+	local, remote   netip.Addr
+	localMAC, gwMAC packet.MAC
+	vni, greKey     uint32
+	ttl             uint8
+	mtu             int
+	buf             *packet.SerializeBuffer
+	v               view
+}
+
+// NewTunnel builds a tunnel endpoint instance.
+func NewTunnel() *tunnelApp {
+	a := &tunnelApp{state: ppe.NewState(), buf: packet.NewSerializeBuffer()}
+	a.ctr = a.state.AddCounters("tunnel", tunnelCounters)
+	a.prog = &ppe.Program{
+		Name:        "tunnel",
+		Version:     1,
+		ParseLayers: []packet.LayerType{packet.LayerTypeEthernet, packet.LayerTypeIPv4, packet.LayerTypeUDP},
+		Actions: []ppe.ActionSpec{
+			{Kind: ppe.ActionPush, Bytes: 50}, // worst case: VXLAN outer stack
+			{Kind: ppe.ActionPop, Bytes: 50},
+			{Kind: ppe.ActionChecksum},
+			{Kind: ppe.ActionHash, Bits: 16}, // source-port entropy
+			{Kind: ppe.ActionCounterBank, Count: tunnelCounters},
+		},
+		Stages:  3,
+		Handler: ppe.HandlerFunc(a.handle),
+	}
+	return a
+}
+
+// Program implements core.App.
+func (a *tunnelApp) Program() *ppe.Program { return a.prog }
+
+// State implements core.App.
+func (a *tunnelApp) State() *ppe.State { return a.state }
+
+// Configure implements core.App.
+func (a *tunnelApp) Configure(config []byte) error {
+	var cfg TunnelConfig
+	if err := json.Unmarshal(config, &cfg); err != nil {
+		return fmt.Errorf("tunnel: %w", err)
+	}
+	switch cfg.Mode {
+	case TunnelGRE, TunnelVXLAN, TunnelIPIP:
+	default:
+		return fmt.Errorf("tunnel: unknown mode %q", cfg.Mode)
+	}
+	local, err := netip.ParseAddr(cfg.LocalIP)
+	if err != nil {
+		return fmt.Errorf("tunnel local: %w", err)
+	}
+	remote, err := netip.ParseAddr(cfg.RemoteIP)
+	if err != nil {
+		return fmt.Errorf("tunnel remote: %w", err)
+	}
+	if !local.Is4() || !remote.Is4() {
+		return fmt.Errorf("tunnel: IPv4 endpoints required")
+	}
+	lmac, err := packet.ParseMAC(cfg.LocalMAC)
+	if err != nil {
+		return fmt.Errorf("tunnel local MAC: %w", err)
+	}
+	gmac, err := packet.ParseMAC(cfg.GatewayMAC)
+	if err != nil {
+		return fmt.Errorf("tunnel gateway MAC: %w", err)
+	}
+	a.mode, a.local, a.remote = cfg.Mode, local, remote
+	a.localMAC, a.gwMAC = lmac, gmac
+	a.vni, a.greKey = cfg.VNI, cfg.GREKey
+	a.ttl = cfg.TTL
+	if a.ttl == 0 {
+		a.ttl = 64
+	}
+	a.mtu = cfg.MTU
+	if a.mtu == 0 {
+		a.mtu = 1518
+	}
+	return nil
+}
+
+func (a *tunnelApp) handle(ctx *ppe.Ctx) ppe.Verdict {
+	if a.mode == "" {
+		return ppe.VerdictPass
+	}
+	switch ctx.Dir {
+	case ppe.DirEdgeToOptical:
+		out, err := a.encap(ctx.Data)
+		if err != nil {
+			a.ctr.Inc(TunnelErrors, len(ctx.Data))
+			return ppe.VerdictDrop
+		}
+		if len(out) > a.mtu {
+			// The outer header would push the frame past the egress MTU;
+			// outer packets carry DF, so the hardware drops (an ICMP
+			// too-big would be the control plane's job).
+			a.ctr.Inc(TunnelTooBig, len(ctx.Data))
+			return ppe.VerdictDrop
+		}
+		ctx.Data = out
+		a.ctr.Inc(TunnelEncapped, len(out))
+	case ppe.DirOpticalToEdge:
+		out, ok := a.decap(ctx.Data)
+		if !ok {
+			a.ctr.Inc(TunnelPassed, len(ctx.Data))
+			return ppe.VerdictPass
+		}
+		ctx.Data = out
+		a.ctr.Inc(TunnelDecapped, len(out))
+	}
+	return ppe.VerdictPass
+}
+
+func (a *tunnelApp) encap(data []byte) ([]byte, error) {
+	outerEth := &packet.Ethernet{SrcMAC: a.localMAC, DstMAC: a.gwMAC, EtherType: packet.EtherTypeIPv4}
+	outerIP := &packet.IPv4{TTL: a.ttl, SrcIP: a.local, DstIP: a.remote, DontFrag: true}
+	var layers []packet.SerializableLayer
+
+	switch a.mode {
+	case TunnelGRE:
+		outerIP.Protocol = packet.IPProtocolGRE
+		gre := &packet.GRE{Protocol: packet.EtherTypeTransparentEthernet}
+		if a.greKey != 0 {
+			gre.KeyPresent = true
+			gre.Key = a.greKey
+		}
+		inner := packet.Payload(data)
+		layers = []packet.SerializableLayer{outerEth, outerIP, gre, &inner}
+	case TunnelVXLAN:
+		outerIP.Protocol = packet.IPProtocolUDP
+		// Source-port entropy from the inner frame keeps ECMP balanced.
+		sport := uint16(49152 + fnv64(data[:min(34, len(data))])%16384)
+		udp := &packet.UDP{SrcPort: sport, DstPort: packet.PortVXLAN}
+		if err := udp.SetNetworkLayerForChecksum(a.local, a.remote); err != nil {
+			return nil, err
+		}
+		vx := &packet.VXLAN{VNI: a.vni}
+		inner := packet.Payload(data)
+		layers = []packet.SerializableLayer{outerEth, outerIP, udp, vx, &inner}
+	case TunnelIPIP:
+		// IP-in-IP carries the inner IP packet only.
+		var v view
+		if !v.parse(data) || !v.isIPv4 {
+			return nil, fmt.Errorf("ipip: inner frame is not IPv4")
+		}
+		outerIP.Protocol = packet.IPProtocolIPv4
+		inner := packet.Payload(data[v.l3Off:])
+		layers = []packet.SerializableLayer{outerEth, outerIP, &inner}
+	}
+
+	opts := packet.SerializeOptions{FixLengths: true, ComputeChecksums: true}
+	if err := packet.SerializeLayers(a.buf, opts, layers...); err != nil {
+		return nil, err
+	}
+	out := make([]byte, a.buf.Len())
+	copy(out, a.buf.Bytes())
+	return out, nil
+}
+
+// decap strips the tunnel header when the outer packet is addressed to
+// this endpoint and matches the configured mode.
+func (a *tunnelApp) decap(data []byte) ([]byte, bool) {
+	if !a.v.parse(data) || !a.v.isIPv4 {
+		return nil, false
+	}
+	v := &a.v
+	l4 := v.l3Off + v.ipv4HeaderLen()
+	local4 := a.local.As4()
+	if [4]byte(v.dstIPv4()) != local4 {
+		return nil, false
+	}
+	switch {
+	case a.mode == TunnelGRE && v.proto == packet.IPProtocolGRE:
+		var gre packet.GRE
+		if gre.DecodeFromBytes(data[l4:]) != nil ||
+			gre.Protocol != packet.EtherTypeTransparentEthernet {
+			return nil, false
+		}
+		return append([]byte(nil), gre.LayerPayload()...), true
+	case a.mode == TunnelVXLAN && v.proto == packet.IPProtocolUDP && v.dstPort == packet.PortVXLAN:
+		if len(data) < l4+16 {
+			return nil, false
+		}
+		var vx packet.VXLAN
+		if vx.DecodeFromBytes(data[l4+8:]) != nil || vx.VNI != a.vni {
+			return nil, false
+		}
+		return append([]byte(nil), vx.LayerPayload()...), true
+	case a.mode == TunnelIPIP && v.proto == packet.IPProtocolIPv4:
+		// Re-wrap the inner IP packet in an Ethernet frame toward the
+		// edge host.
+		innerEth := &packet.Ethernet{SrcMAC: a.localMAC, DstMAC: a.gwMAC, EtherType: packet.EtherTypeIPv4}
+		inner := packet.Payload(data[l4:])
+		opts := packet.SerializeOptions{}
+		if err := packet.SerializeLayers(a.buf, opts, innerEth, &inner); err != nil {
+			return nil, false
+		}
+		out := make([]byte, a.buf.Len())
+		copy(out, a.buf.Bytes())
+		return out, true
+	}
+	return nil, false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

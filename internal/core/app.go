@@ -1,0 +1,72 @@
+// Package core implements the FlexSFP module: a standard SFP+ transceiver
+// model plus the programmable variant with the three Figure-1 architecture
+// shells (One-Way-Filter, Two-Way-Core, Active-Core), the boot/
+// reconfiguration FSM over the SPI flash, in-band control-frame demux, and
+// the module power model calibrated to the paper's §5 measurements.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"flexsfp/internal/ppe"
+)
+
+// App is an instantiated PPE application: its declarative program (with
+// the behavioral handler bound) plus its runtime state registry, which the
+// embedded control plane reads and writes.
+type App interface {
+	// Program returns the program with a live Handler.
+	Program() *ppe.Program
+	// State returns the control-plane-visible object registry.
+	State() *ppe.State
+	// Configure applies the app-specific config blob carried in the
+	// bitstream manifest (static rules loaded at boot, §4.1).
+	Configure(config []byte) error
+}
+
+// Factory creates a fresh App instance (one per boot).
+type Factory func() App
+
+// Registry maps application names (as carried in bitstream headers) to
+// factories. A module consults its registry when booting a slot: the
+// software analogue of the FPGA configuring itself from the stored
+// design.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]Factory)}
+}
+
+// Register adds a factory; re-registering a name replaces it.
+func (r *Registry) Register(name string, f Factory) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.factories[name] = f
+}
+
+// New instantiates the named application.
+func (r *Registry) New(name string) (App, error) {
+	r.mu.RLock()
+	f, ok := r.factories[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no registered application %q", name)
+	}
+	return f(), nil
+}
+
+// Names returns the registered application names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.factories))
+	for k := range r.factories {
+		out = append(out, k)
+	}
+	return out
+}

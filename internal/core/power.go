@@ -1,0 +1,66 @@
+package core
+
+import "flexsfp/internal/hls"
+
+// Power model, calibrated to the paper's §5 testbed measurements:
+//
+//	NIC alone            3.800 W
+//	NIC + standard SFP   4.693 W  → SFP draws 0.893 W
+//	NIC + FlexSFP        5.320 W  → FlexSFP draws 1.520 W at line-rate
+//
+// The FlexSFP budget decomposes into optics, FPGA static, the Mi-V
+// control core, and activity-dependent fabric dynamic power. Dynamic
+// power scales with clock, datapath width and pipeline utilization, so
+// the Two-Way-Core (double clock) and 100G what-ifs price out correctly
+// against the 1–3 W transceiver envelope (§2, §5.3).
+const (
+	// StandardSFPPowerW is a plain 10GBASE-SR module under traffic.
+	StandardSFPPowerW = 0.893
+
+	flexOpticsW     = 0.55 // laser driver + limiting amp + laser
+	flexFPGAStaticW = 0.30 // fabric static at 28 nm
+	flexMiVW        = 0.07 // control core + SPI
+	// flexDynamicFullW is fabric dynamic power at 156.25 MHz, 64-bit
+	// datapath, 100% pipeline utilization.
+	flexDynamicFullW = 0.60
+
+	baseClockHz      = 156_250_000
+	baseDatapathBits = 64
+
+	// ThermalEnvelopeW is the SFP+ power ceiling the paper targets
+	// ("within the 1–3 W envelope of a standard transceiver", §2).
+	ThermalEnvelopeW = 3.0
+)
+
+// PowerW returns the module's current draw in watts: idle modules burn
+// optics + static + control; traffic adds dynamic power in proportion to
+// pipeline utilization, clock and width.
+func (m *Module) PowerW() float64 {
+	p := flexOpticsW + flexFPGAStaticW + flexMiVW
+	if m.engine == nil || m.state != stateRunning {
+		return p
+	}
+	clockScale := float64(m.engine.ClockHz()) / baseClockHz
+	widthScale := float64(m.engine.DatapathBits()) / baseDatapathBits
+	p += flexDynamicFullW * clockScale * widthScale * m.engine.Utilization()
+	return p
+}
+
+// PeakPowerW returns the worst-case draw of a design (utilization 1.0) —
+// what the thermal check must admit.
+func PeakPowerW(clockHz int64, datapathBits int, shell hls.Shell) float64 {
+	p := flexOpticsW + flexFPGAStaticW + flexMiVW
+	clockScale := float64(clockHz) / baseClockHz
+	widthScale := float64(datapathBits) / baseDatapathBits
+	p += flexDynamicFullW * clockScale * widthScale
+	if shell == hls.ActiveCore {
+		p += 0.15 // third MAC + busier control core
+	}
+	return p
+}
+
+// WithinThermalEnvelope reports whether a design's peak power fits the
+// SFP+ budget.
+func WithinThermalEnvelope(clockHz int64, datapathBits int, shell hls.Shell) bool {
+	return PeakPowerW(clockHz, datapathBits, shell) <= ThermalEnvelopeW
+}

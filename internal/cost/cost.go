@@ -1,0 +1,133 @@
+// Package cost implements the §5.2 cost analysis: the FlexSFP prototype
+// bill of materials and the ideal-scaling normalization of Sadok et al.
+// [39] that puts heterogeneous accelerators on a common $-per-10G and
+// W-per-10G basis (Table 3).
+package cost
+
+// BOMItem is one line of the prototype cost breakdown.
+type BOMItem struct {
+	Name    string
+	LowUSD  float64
+	HighUSD float64
+}
+
+// FlexSFPBOM returns the §5.2 breakdown: the MPF200T at volume pricing,
+// a commodity 10GBASE-SR optical subassembly, and the remaining
+// components and manufacturing conservatively banded.
+func FlexSFPBOM() []BOMItem {
+	return []BOMItem{
+		{"MPF200T-FCSG325E FPGA (1k-unit)", 200, 200},
+		{"10GBASE-SR optics (OEM, volume)", 8, 12},
+		{"Laser driver, regulators, oscillator, SPI flash", 20, 40},
+		{"6-layer PCB, reflow, inspection, test", 30, 60},
+	}
+}
+
+// BOMTotal sums a BOM into its low/high band.
+func BOMTotal(bom []BOMItem) (low, high float64) {
+	for _, it := range bom {
+		low += it.LowUSD
+		high += it.HighUSD
+	}
+	return low, high
+}
+
+// ProductionCostBand returns the paper's volume estimate: "a direct
+// production cost around $300 per unit, with potential reductions toward
+// $250 as volume increases".
+func ProductionCostBand() (low, high float64) { return 250, 300 }
+
+// Solution is one row of Table 3.
+type Solution struct {
+	Name string
+	// Published raw figures (the paper's table).
+	RawCostLowUSD, RawCostHighUSD float64
+	RawPowerW                     float64
+	// AggGbps is the aggregate bandwidth used for ideal scaling (the
+	// device basis for the class).
+	AggGbps float64
+	// Published per-10G values, as printed in the paper.
+	PubPer10GCostLow, PubPer10GCostHigh float64
+	PubPer10GPowerW                     float64
+}
+
+// Per10GCost applies the ideal-scaling rule to the cost band.
+func (s Solution) Per10GCost() (low, high float64) {
+	slices := s.AggGbps / 10
+	return s.RawCostLowUSD / slices, s.RawCostHighUSD / slices
+}
+
+// Per10GPower applies the ideal-scaling rule to power.
+func (s Solution) Per10GPower() float64 {
+	return s.RawPowerW / (s.AggGbps / 10)
+}
+
+// Table3 returns the four solution classes with the paper's published
+// figures. Aggregate rates are the class-representative devices: BF-2 at
+// 2×25G, Agilio/DSC-class at 2×40G, Alveo U25/U50 around 2×50G, FlexSFP
+// at 10G. (The paper's own per-10G power for the many-core class uses a
+// 50G basis; we keep one basis per class and surface both published and
+// computed values so the discrepancy is visible rather than hidden.)
+func Table3() []Solution {
+	return []Solution{
+		{
+			Name:          "DPU (BF-2)",
+			RawCostLowUSD: 1500, RawCostHighUSD: 2000,
+			RawPowerW: 75, AggGbps: 50,
+			PubPer10GCostLow: 300, PubPer10GCostHigh: 400, PubPer10GPowerW: 15,
+		},
+		{
+			Name:          "Many-core (Ag./DSC)",
+			RawCostLowUSD: 800, RawCostHighUSD: 1200,
+			RawPowerW: 25, AggGbps: 80,
+			PubPer10GCostLow: 100, PubPer10GCostHigh: 150, PubPer10GPowerW: 5,
+		},
+		{
+			Name:          "FPGA (U25/U50)",
+			RawCostLowUSD: 2000, RawCostHighUSD: 4000,
+			RawPowerW: 60, AggGbps: 100,
+			PubPer10GCostLow: 200, PubPer10GCostHigh: 400, PubPer10GPowerW: 8.5,
+		},
+		{
+			Name:          "FlexSFP",
+			RawCostLowUSD: 250, RawCostHighUSD: 300,
+			RawPowerW: 1.5, AggGbps: 10,
+			PubPer10GCostLow: 250, PubPer10GCostHigh: 300, PubPer10GPowerW: 1.5,
+		},
+	}
+}
+
+// Claims verifies the two headline §5.2 conclusions over a Table 3 row
+// set: FlexSFP saves roughly two-thirds of raw CAPEX versus a DPU and
+// cuts per-10G power by an order of magnitude versus every SmartNIC
+// class.
+type Claims struct {
+	CAPEXSavingVsDPU float64 // fraction of raw DPU cost saved
+	PowerRatioVsBest float64 // best (lowest) SmartNIC W/10G over FlexSFP W/10G
+}
+
+// EvaluateClaims computes the headline numbers from the table.
+func EvaluateClaims(rows []Solution) Claims {
+	var flex, dpu Solution
+	bestW := 0.0
+	for _, r := range rows {
+		switch r.Name {
+		case "FlexSFP":
+			flex = r
+		case "DPU (BF-2)":
+			dpu = r
+		}
+		if r.Name != "FlexSFP" {
+			w := r.Per10GPower()
+			if bestW == 0 || w < bestW {
+				bestW = w
+			}
+		}
+	}
+	flexMid := (flex.RawCostLowUSD + flex.RawCostHighUSD) / 2
+	dpuMid := (dpu.RawCostLowUSD + dpu.RawCostHighUSD) / 2
+	return Claims{
+		CAPEXSavingVsDPU: 1 - flexMid/dpuMid,
+		PowerRatioVsBest: bestW / flex.Per10GPower(),
+	}
+}

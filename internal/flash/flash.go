@@ -1,0 +1,176 @@
+// Package flash models the FlexSFP's 128 Mb SPI NOR flash (§4.3): sector
+// erase / page program / random read with datasheet-class timings, per-
+// sector wear counters, a slotted layout for holding multiple design
+// bitstreams ("the flash memory is such that multiple designs could be
+// stored"), and power-cut corruption injection for recovery testing.
+//
+// NOR semantics are modeled faithfully: programming can only clear bits
+// (1→0); an erase sets a whole sector to 0xFF.
+package flash
+
+import (
+	"errors"
+	"fmt"
+
+	"flexsfp/internal/netsim"
+)
+
+// Geometry of the modeled part (Microchip/SST-class 128 Mb SPI NOR).
+const (
+	SizeBytes  = 128 * 1024 * 1024 / 8 // 128 Mb = 16 MiB
+	SectorSize = 4096
+	PageSize   = 256
+	NumSectors = SizeBytes / SectorSize
+)
+
+// Datasheet-class operation timings.
+const (
+	SectorEraseTime = 25 * netsim.Millisecond
+	PageProgramTime = 700 * netsim.Microsecond
+	// ReadTimePerByte approximates a 50 MHz SPI bus: ~20 ns/byte.
+	ReadTimePerByte = 20 * netsim.Nanosecond
+)
+
+// Errors.
+var (
+	ErrOutOfRange   = errors.New("flash: address out of range")
+	ErrNotErased    = errors.New("flash: programming a non-erased cell (program can only clear bits)")
+	ErrBadAlignment = errors.New("flash: misaligned operation")
+)
+
+// Device is the flash array plus wear accounting.
+type Device struct {
+	mem       []byte
+	eraseWear []uint32 // per-sector erase count
+
+	// Stats.
+	Erases   uint64
+	Programs uint64
+	Reads    uint64
+}
+
+// New returns a factory-fresh (all 0xFF) device.
+func New() *Device {
+	d := &Device{
+		mem:       make([]byte, SizeBytes),
+		eraseWear: make([]uint32, NumSectors),
+	}
+	for i := range d.mem {
+		d.mem[i] = 0xff
+	}
+	return d
+}
+
+// Read copies n bytes starting at addr into a fresh slice and returns the
+// time the SPI transfer takes.
+func (d *Device) Read(addr, n int) ([]byte, netsim.Duration, error) {
+	if addr < 0 || n < 0 || addr+n > SizeBytes {
+		return nil, 0, fmt.Errorf("%w: read [%d,%d)", ErrOutOfRange, addr, addr+n)
+	}
+	d.Reads++
+	out := make([]byte, n)
+	copy(out, d.mem[addr:addr+n])
+	return out, netsim.Duration(n) * ReadTimePerByte, nil
+}
+
+// EraseSector erases the sector containing addr (addr must be sector-
+// aligned) and returns the erase time.
+func (d *Device) EraseSector(addr int) (netsim.Duration, error) {
+	if addr < 0 || addr >= SizeBytes {
+		return 0, fmt.Errorf("%w: erase at %d", ErrOutOfRange, addr)
+	}
+	if addr%SectorSize != 0 {
+		return 0, fmt.Errorf("%w: erase at %d", ErrBadAlignment, addr)
+	}
+	for i := addr; i < addr+SectorSize; i++ {
+		d.mem[i] = 0xff
+	}
+	d.eraseWear[addr/SectorSize]++
+	d.Erases++
+	return SectorEraseTime, nil
+}
+
+// ProgramPage programs up to PageSize bytes at addr (must not cross a page
+// boundary) and returns the program time. Programming a bit from 0 to 1
+// fails with ErrNotErased, as on real NOR.
+func (d *Device) ProgramPage(addr int, data []byte) (netsim.Duration, error) {
+	if addr < 0 || addr+len(data) > SizeBytes {
+		return 0, fmt.Errorf("%w: program [%d,%d)", ErrOutOfRange, addr, addr+len(data))
+	}
+	if len(data) == 0 {
+		return 0, nil
+	}
+	if len(data) > PageSize || addr/PageSize != (addr+len(data)-1)/PageSize {
+		return 0, fmt.Errorf("%w: program crosses page boundary at %d (+%d)", ErrBadAlignment, addr, len(data))
+	}
+	for i, b := range data {
+		if d.mem[addr+i]&b != b {
+			return 0, fmt.Errorf("%w: at %d", ErrNotErased, addr+i)
+		}
+	}
+	for i, b := range data {
+		d.mem[addr+i] &= b
+	}
+	d.Programs++
+	return PageProgramTime, nil
+}
+
+// SectorWear returns the erase count of the sector containing addr.
+func (d *Device) SectorWear(addr int) uint32 {
+	return d.eraseWear[addr/SectorSize]
+}
+
+// MaxWear returns the highest per-sector erase count.
+func (d *Device) MaxWear() uint32 {
+	var m uint32
+	for _, w := range d.eraseWear {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// CorruptRange simulates a power cut mid-program: each byte in [addr,
+// addr+n) is partially programmed (random bits cleared) using rnd.
+func (d *Device) CorruptRange(addr, n int, rnd func() byte) error {
+	if addr < 0 || n < 0 || addr+n > SizeBytes {
+		return fmt.Errorf("%w: corrupt [%d,%d)", ErrOutOfRange, addr, addr+n)
+	}
+	for i := addr; i < addr+n; i++ {
+		d.mem[i] &= rnd()
+	}
+	return nil
+}
+
+// WriteBlob erases the covered sectors and programs data at addr (sector-
+// aligned), returning the total operation time. This is the primitive the
+// reprogramming FSM uses to store a bitstream.
+func (d *Device) WriteBlob(addr int, data []byte) (netsim.Duration, error) {
+	if addr%SectorSize != 0 {
+		return 0, fmt.Errorf("%w: blob at %d", ErrBadAlignment, addr)
+	}
+	if addr < 0 || addr+len(data) > SizeBytes {
+		return 0, fmt.Errorf("%w: blob [%d,%d)", ErrOutOfRange, addr, addr+len(data))
+	}
+	var total netsim.Duration
+	for s := addr; s < addr+len(data); s += SectorSize {
+		dt, err := d.EraseSector(s)
+		if err != nil {
+			return total, err
+		}
+		total += dt
+	}
+	for off := 0; off < len(data); off += PageSize {
+		end := off + PageSize
+		if end > len(data) {
+			end = len(data)
+		}
+		dt, err := d.ProgramPage(addr+off, data[off:end])
+		if err != nil {
+			return total, err
+		}
+		total += dt
+	}
+	return total, nil
+}

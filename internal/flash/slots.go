@@ -1,0 +1,83 @@
+package flash
+
+import (
+	"errors"
+	"fmt"
+
+	"flexsfp/internal/bitstream"
+	"flexsfp/internal/netsim"
+)
+
+// Slot layout: the 16 MiB array is divided into NumSlots fixed regions.
+// Slot 0 conventionally holds the golden (factory fallback) image; the
+// boot FSM refuses to overwrite a slot whose stored image carries the
+// golden flag.
+const (
+	NumSlots = 4
+	SlotSize = SizeBytes / NumSlots
+)
+
+// Slot errors.
+var (
+	ErrBadSlot      = errors.New("flash: slot index out of range")
+	ErrSlotTooSmall = errors.New("flash: bitstream exceeds slot size")
+	ErrGoldenLocked = errors.New("flash: slot holds the golden image")
+	ErrSlotEmpty    = errors.New("flash: slot holds no valid bitstream")
+)
+
+// SlotAddr returns the base address of slot i.
+func SlotAddr(i int) (int, error) {
+	if i < 0 || i >= NumSlots {
+		return 0, fmt.Errorf("%w: %d", ErrBadSlot, i)
+	}
+	return i * SlotSize, nil
+}
+
+// StoreBitstream writes an encoded bitstream into slot i, respecting the
+// golden lock, and returns the flash operation time.
+func (d *Device) StoreBitstream(i int, encoded []byte) (netsim.Duration, error) {
+	addr, err := SlotAddr(i)
+	if err != nil {
+		return 0, err
+	}
+	if len(encoded) > SlotSize {
+		return 0, fmt.Errorf("%w: %d > %d", ErrSlotTooSmall, len(encoded), SlotSize)
+	}
+	if cur, _, lerr := d.LoadBitstream(i); lerr == nil && cur.Golden() {
+		return 0, fmt.Errorf("%w: slot %d", ErrGoldenLocked, i)
+	}
+	return d.WriteBlob(addr, encoded)
+}
+
+// LoadBitstream reads and validates the bitstream in slot i, returning it
+// along with the read time.
+func (d *Device) LoadBitstream(i int) (*bitstream.Bitstream, netsim.Duration, error) {
+	addr, err := SlotAddr(i)
+	if err != nil {
+		return nil, 0, err
+	}
+	raw, dt, err := d.Read(addr, SlotSize)
+	if err != nil {
+		return nil, dt, err
+	}
+	bs, err := bitstream.Decode(raw)
+	if err != nil {
+		return nil, dt, fmt.Errorf("%w: %v", ErrSlotEmpty, err)
+	}
+	// Charge only for the bytes actually occupied; the full-slot read
+	// above is a modeling convenience.
+	dt = netsim.Duration(bs.Size()) * ReadTimePerByte
+	return bs, dt, nil
+}
+
+// ListSlots reports, for each slot, the stored app name or "" if empty or
+// invalid.
+func (d *Device) ListSlots() [NumSlots]string {
+	var out [NumSlots]string
+	for i := 0; i < NumSlots; i++ {
+		if bs, _, err := d.LoadBitstream(i); err == nil {
+			out[i] = bs.AppName
+		}
+	}
+	return out
+}

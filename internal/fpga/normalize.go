@@ -1,0 +1,74 @@
+package fpga
+
+// Cross-vendor logic normalization factors cited by the paper:
+// 1 Xilinx LUT6 ≈ 1.6 four-input logic elements [AMD UG474],
+// 1 Intel ALM ≈ 2 four-input logic elements [Intel ALM note].
+const (
+	LEPerLUT6 = 1.6
+	LEPerALM  = 2.0
+)
+
+// LUT6ToLE converts a Xilinx 6-input LUT count to 4-input LE equivalents.
+func LUT6ToLE(lut6 int) int { return int(float64(lut6) * LEPerLUT6) }
+
+// ALMToLE converts an Intel ALM count to 4-input LE equivalents.
+func ALMToLE(alm int) int { return int(float64(alm) * LEPerALM) }
+
+// LogicUnit identifies how a literature design reports its logic usage.
+type LogicUnit int
+
+// Logic accounting units.
+const (
+	UnitLE LogicUnit = iota // already 4-input LEs
+	UnitLUT6
+	UnitALM
+)
+
+// LiteratureDesign is an FPGA network function from prior work, as
+// reported in the paper's Table 2.
+type LiteratureDesign struct {
+	Name      string
+	Logic     int       // in Unit units
+	Unit      LogicUnit // how Logic is counted
+	BRAMKbits int
+	Source    string
+}
+
+// NormalizedLE returns the design's logic in 4-input LE equivalents.
+func (ld LiteratureDesign) NormalizedLE() int {
+	switch ld.Unit {
+	case UnitLUT6:
+		return LUT6ToLE(ld.Logic)
+	case UnitALM:
+		return ALMToLE(ld.Logic)
+	default:
+		return ld.Logic
+	}
+}
+
+// FitsDevice reports whether the design fits the device's logic and BRAM
+// budgets after normalization, and which budget fails first.
+func (ld LiteratureDesign) FitsDevice(d Device) (fits bool, limiting string) {
+	le := ld.NormalizedLE()
+	switch {
+	case le > d.LogicElements && ld.BRAMKbits > d.BRAMKbits:
+		return false, "logic+BRAM"
+	case le > d.LogicElements:
+		return false, "logic"
+	case ld.BRAMKbits > d.BRAMKbits:
+		return false, "BRAM"
+	default:
+		return true, ""
+	}
+}
+
+// LiteratureDesigns returns the four designs of Table 2 with the paper's
+// reported raw numbers.
+func LiteratureDesigns() []LiteratureDesign {
+	return []LiteratureDesign{
+		{Name: "FlowBlaze (1 stage)", Logic: 71712, Unit: UnitLUT6, BRAMKbits: 14148, Source: "NSDI'19"},
+		{Name: "Pigasus", Logic: 207960, Unit: UnitALM, BRAMKbits: 64400, Source: "OSDI'20"},
+		{Name: "hXDP (1 core)", Logic: 68689, Unit: UnitLUT6, BRAMKbits: 1799, Source: "CACM'22"},
+		{Name: "ClickNP IPSec GW", Logic: 242592, Unit: UnitLUT6, BRAMKbits: 39161, Source: "SIGCOMM'16"},
+	}
+}

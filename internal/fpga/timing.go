@@ -1,0 +1,48 @@
+package fpga
+
+import "math"
+
+// Timing model: a well-pipelined design closes timing at the device's
+// MaxClockMHz ceiling, derated by two effects that dominate in practice:
+//
+//   - routing congestion, which grows with fabric utilization — modeled as
+//     a linear derate of up to 35% at full utilization;
+//   - datapath width, which deepens muxing/fanout — modeled as a 5% derate
+//     per doubling beyond a 64-bit baseline.
+//
+// The constants are chosen so the paper's operating points hold: the NAT
+// design (16% utilization, 64-bit datapath) closes 156.25 MHz with a wide
+// margin, and a Two-Way-Core needing 312.5 MHz remains feasible, matching
+// §5.3's "modestly increasing the PPE clock".
+const (
+	congestionDerate   = 0.35
+	widthDeratePerOct  = 0.05
+	baselineWidthBits  = 64
+	minAchievableRatio = 0.25 // floor: heavily congested designs still run
+)
+
+// AchievableClockMHz estimates the maximum clock for a design with the
+// given peak utilization (0..1) and datapath width on device d.
+func (d Device) AchievableClockMHz(peakUtilization float64, datapathBits int) float64 {
+	if peakUtilization < 0 {
+		peakUtilization = 0
+	}
+	if peakUtilization > 1 {
+		peakUtilization = 1
+	}
+	if datapathBits < baselineWidthBits {
+		datapathBits = baselineWidthBits
+	}
+	derate := 1 - congestionDerate*peakUtilization
+	oct := math.Log2(float64(datapathBits) / baselineWidthBits)
+	derate *= 1 - widthDeratePerOct*oct
+	if derate < minAchievableRatio {
+		derate = minAchievableRatio
+	}
+	return d.MaxClockMHz * derate
+}
+
+// ClockFeasible reports whether the design can be clocked at requiredMHz.
+func (d Device) ClockFeasible(requiredMHz, peakUtilization float64, datapathBits int) bool {
+	return d.AchievableClockMHz(peakUtilization, datapathBits) >= requiredMHz
+}

@@ -1,0 +1,154 @@
+package hls
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"flexsfp/internal/bitstream"
+	"flexsfp/internal/fpga"
+	"flexsfp/internal/ppe"
+)
+
+// Options configures a compilation.
+type Options struct {
+	Device       fpga.Device
+	Shell        Shell
+	ClockHz      int64 // PPE clock; 156_250_000 for the 10G baseline
+	DatapathBits int   // 64 for the SFP+ prototype
+	Golden       bool  // mark the resulting bitstream as factory fallback
+	// Config is an opaque app-specific configuration blob carried in the
+	// bitstream manifest (e.g. static rules loaded at boot).
+	Config []byte
+}
+
+// Compilation errors.
+var (
+	ErrDoesNotFit    = errors.New("hls: design does not fit target device")
+	ErrTimingFailure = errors.New("hls: design does not close timing")
+	ErrBadOptions    = errors.New("hls: invalid options")
+)
+
+// Design is the output of Compile: the full implementation report plus a
+// loadable bitstream.
+type Design struct {
+	Program      *ppe.Program
+	Target       fpga.Device
+	Shell        Shell
+	ClockHz      int64
+	DatapathBits int
+
+	// App is the PPE application's own resources (Table 1 "NAT app" row).
+	App fpga.Resources
+	// ShellRes is the fixed shell (Mi-V + interfaces + glue).
+	ShellRes fpga.Resources
+	// Total is App + ShellRes (Table 1 "Used" row).
+	Total fpga.Resources
+
+	Fit                fpga.FitReport
+	AchievableClockMHz float64
+	PipelineDepth      int
+
+	Bitstream *bitstream.Bitstream
+}
+
+// Manifest is the JSON structure carried in the bitstream payload. It is
+// enough for the module's boot FSM to re-instantiate and sanity-check the
+// application against the registered factory.
+type Manifest struct {
+	Name         string          `json:"name"`
+	Version      uint32          `json:"version"`
+	Shell        Shell           `json:"shell"`
+	ParseLayers  []int           `json:"parse_layers"`
+	Stages       int             `json:"stages"`
+	Tables       []ppe.TableSpec `json:"tables"`
+	Config       []byte          `json:"config,omitempty"`
+	AppLUT4      int             `json:"app_lut4"`
+	AppFF        int             `json:"app_ff"`
+	AppUSRAM     int             `json:"app_usram"`
+	AppLSRAM     int             `json:"app_lsram"`
+	DatapathBits int             `json:"datapath_bits"`
+}
+
+// Compile runs the modeled HLS + integration flow: estimate the program's
+// resources, add the shell, check fit and timing on the target device,
+// and emit a loadable bitstream.
+func Compile(p *ppe.Program, opts Options) (*Design, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.ClockHz <= 0 || opts.DatapathBits < 8 {
+		return nil, fmt.Errorf("%w: clock %d Hz, datapath %d bits", ErrBadOptions, opts.ClockHz, opts.DatapathBits)
+	}
+	if opts.Device.Name == "" {
+		opts.Device = fpga.MPF200T
+	}
+
+	d := &Design{
+		Program:      p,
+		Target:       opts.Device,
+		Shell:        opts.Shell,
+		ClockHz:      opts.ClockHz,
+		DatapathBits: opts.DatapathBits,
+		App:          EstimateProgram(p, opts.DatapathBits),
+		ShellRes:     ShellResources(opts.Shell),
+	}
+	d.Total = d.App.Add(d.ShellRes)
+	d.Fit = opts.Device.Fit(d.Total)
+	if !d.Fit.Fits {
+		return d, fmt.Errorf("%w: %s limited by %s", ErrDoesNotFit, opts.Device.Name, d.Fit.Limiting)
+	}
+	util := d.Fit.Utilization.Max() / 100
+	d.AchievableClockMHz = opts.Device.AchievableClockMHz(util, opts.DatapathBits)
+	requiredMHz := float64(opts.ClockHz) / 1e6
+	if d.AchievableClockMHz < requiredMHz {
+		return d, fmt.Errorf("%w: need %.2f MHz, achievable %.2f MHz",
+			ErrTimingFailure, requiredMHz, d.AchievableClockMHz)
+	}
+	d.PipelineDepth = p.PipelineDepth(opts.DatapathBits)
+
+	layers := make([]int, len(p.ParseLayers))
+	for i, lt := range p.ParseLayers {
+		layers[i] = int(lt)
+	}
+	payload, err := json.Marshal(Manifest{
+		Name:         p.Name,
+		Version:      p.Version,
+		Shell:        opts.Shell,
+		ParseLayers:  layers,
+		Stages:       p.Stages,
+		Tables:       p.Tables,
+		Config:       opts.Config,
+		AppLUT4:      d.App.LUT4,
+		AppFF:        d.App.FF,
+		AppUSRAM:     d.App.USRAM,
+		AppLSRAM:     d.App.LSRAM,
+		DatapathBits: opts.DatapathBits,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hls: encoding manifest: %w", err)
+	}
+	var flags uint16
+	if opts.Golden {
+		flags |= bitstream.FlagGolden
+	}
+	d.Bitstream = &bitstream.Bitstream{
+		AppName:      p.Name,
+		AppVersion:   p.Version,
+		Device:       opts.Device.Name,
+		ClockKHz:     uint32(opts.ClockHz / 1000),
+		DatapathBits: uint16(opts.DatapathBits),
+		Flags:        flags,
+		Payload:      payload,
+	}
+	return d, nil
+}
+
+// ParseManifest decodes a bitstream payload back into its manifest.
+func ParseManifest(payload []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("hls: decoding manifest: %w", err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,150 @@
+// Package hls models the FlexSFP build flow of §4.2: "the developer
+// writes the packet function…; an HLS toolchain converts it to HDL and
+// generates an IP core; the build framework integrates this into an
+// architecture shell, finalizes clocks, memory, and IO, and emits the SFP
+// bitstream."
+//
+// Compile turns a ppe.Program into (a) a per-primitive FPGA resource
+// estimate, (b) a timing feasibility check against the target device, and
+// (c) a loadable bitstream artifact. The per-primitive cost model is
+// calibrated against the Microchip AN4364 reference design so that the
+// paper's NAT case study reproduces Table 1: the formulas are linear in
+// the primitive parameters (header bytes parsed, key bits matched, table
+// entries stored), so other programs and wider datapaths extrapolate
+// sensibly.
+package hls
+
+import (
+	"math"
+
+	"flexsfp/internal/fpga"
+	"flexsfp/internal/ppe"
+)
+
+// Calibrated per-primitive costs (64-bit datapath baseline). The NAT case
+// study (parse eth+ipv4, one 32→32 exact table with 32,768 entries, hash,
+// 32-bit rewrite, checksum update, 2 stages) sums to 9,108 LUT / 11,284 FF
+// / 36 uSRAM / 160 LSRAM against the paper's 9,122 / 11,294 / 36 / 160.
+const (
+	baseLUT, baseFF, baseUSRAM = 1500, 2200, 8
+
+	parserLayerLUT, parserLayerFF = 320, 400
+	parserByteLUT, parserByteFF   = 28, 40
+	parserLayerUSRAM              = 1
+
+	stageLUT, stageFF, stageUSRAM = 760, 920, 6
+
+	exactTableLUT, exactTableFF    = 1600, 1700
+	exactTableLUTPerKeyBit         = 24
+	exactTableFFPerKeyBit          = 30
+	exactTableUSRAM                = 12
+	exactTableOverheadBitsPerEntry = 36 // valid bit + hash tag + spare
+
+	ternaryTableLUT, ternaryTableFF = 800, 600
+	// Register-based TCAM: one LUT4 per key bit per entry for the match
+	// network, and flip-flops storing value+mask+action per entry.
+	ternaryLUTPerEntryKeyBit = 1
+	ternaryUSRAM             = 4
+
+	hashLUT, hashFF           = 700, 760
+	rewriteLUTPerBit          = 4
+	rewriteFFPerBit           = 2
+	checksumLUT, checksumFF   = 1300, 1600
+	checksumUSRAM             = 2
+	pushPopLUT, pushPopFF     = 400, 300
+	pushPopLUTPerByte         = 24
+	pushPopFFPerByte          = 16
+	pushPopUSRAM              = 2
+	timestampLUT, timestampFF = 300, 500
+	counterBankLUT, counterFF = 200, 150
+	counterBitsPerEntry       = 128 // 64 b packets + 64 b bytes
+	meterBankLUT, meterBankFF = 500, 400
+	meterBitsPerEntry         = 96
+)
+
+// widthFactor scales streaming (per-word) logic with datapath width
+// relative to the 64-bit calibration baseline.
+func widthFactor(datapathBits int) float64 {
+	if datapathBits < 64 {
+		datapathBits = 64
+	}
+	return float64(datapathBits) / 64
+}
+
+func scale(v int, f float64) int { return int(math.Round(float64(v) * f)) }
+
+// EstimateProgram returns the fabric resources of the program's PPE logic
+// alone (the Table 1 "NAT app" row), at the given datapath width.
+func EstimateProgram(p *ppe.Program, datapathBits int) fpga.Resources {
+	wf := widthFactor(datapathBits)
+	r := fpga.Resources{
+		LUT4:  scale(baseLUT, wf),
+		FF:    scale(baseFF, wf),
+		USRAM: baseUSRAM,
+	}
+
+	// Parser: field extraction scales with header bytes and word width.
+	for _, lt := range p.ParseLayers {
+		hb := ppe.HeaderBytes(lt)
+		r.LUT4 += scale(parserLayerLUT+parserByteLUT*hb, wf)
+		r.FF += scale(parserLayerFF+parserByteFF*hb, wf)
+		r.USRAM += parserLayerUSRAM
+	}
+
+	// Match-action stages: pipeline registers and crossbar muxing.
+	r.LUT4 += scale(stageLUT*p.Stages, wf)
+	r.FF += scale(stageFF*p.Stages, wf)
+	r.USRAM += stageUSRAM * p.Stages
+
+	for _, t := range p.Tables {
+		switch t.Kind {
+		case ppe.TableExact:
+			r.LUT4 += exactTableLUT + exactTableLUTPerKeyBit*t.KeyBits
+			r.FF += exactTableFF + exactTableFFPerKeyBit*t.KeyBits
+			r.USRAM += exactTableUSRAM
+			entryBits := t.KeyBits + t.ValueBits + exactTableOverheadBitsPerEntry
+			r.LSRAM += fpga.LSRAMBlocksFor(t.Size * entryBits)
+		case ppe.TableTernary:
+			r.LUT4 += ternaryTableLUT + ternaryLUTPerEntryKeyBit*t.Size*t.KeyBits
+			r.FF += ternaryTableFF + t.Size*(2*t.KeyBits+t.ValueBits)
+			r.USRAM += ternaryUSRAM
+		}
+	}
+
+	for _, a := range p.Actions {
+		switch a.Kind {
+		case ppe.ActionHash:
+			r.LUT4 += hashLUT
+			r.FF += hashFF
+		case ppe.ActionRewrite:
+			r.LUT4 += scale(rewriteLUTPerBit*a.Bits, wf)
+			r.FF += scale(rewriteFFPerBit*a.Bits, wf)
+		case ppe.ActionChecksum:
+			r.LUT4 += scale(checksumLUT, wf)
+			r.FF += scale(checksumFF, wf)
+			r.USRAM += checksumUSRAM
+		case ppe.ActionPush, ppe.ActionPop:
+			r.LUT4 += scale(pushPopLUT+pushPopLUTPerByte*a.Bytes, wf)
+			r.FF += scale(pushPopFF+pushPopFFPerByte*a.Bytes, wf)
+			r.USRAM += pushPopUSRAM
+		case ppe.ActionTimestamp:
+			r.LUT4 += timestampLUT
+			r.FF += timestampFF
+		case ppe.ActionCounterBank:
+			r.LUT4 += counterBankLUT
+			r.FF += counterFF
+			r.USRAM += fpga.USRAMBlocksFor(a.Count * counterBitsPerEntry)
+		case ppe.ActionMeterBank:
+			r.LUT4 += meterBankLUT
+			r.FF += meterBankFF
+			r.USRAM += fpga.USRAMBlocksFor(a.Count * meterBitsPerEntry)
+		}
+	}
+
+	for _, reg := range p.Registers {
+		r.LUT4 += reg.Bits / 2
+		r.FF += reg.Bits
+	}
+
+	return r
+}

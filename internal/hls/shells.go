@@ -1,0 +1,97 @@
+package hls
+
+import (
+	"fmt"
+
+	"flexsfp/internal/fpga"
+)
+
+// Shell selects one of the Figure-1 architecture shells the application
+// is integrated into.
+type Shell int
+
+// Architecture shells (§4.1).
+const (
+	// OneWayFilter places the PPE on the edge→optical path only.
+	OneWayFilter Shell = iota
+	// TwoWayCore aggregates both directions through one PPE.
+	TwoWayCore
+	// ActiveCore adds a dedicated control-plane network interface; the
+	// control plane can originate and terminate traffic.
+	ActiveCore
+)
+
+func (s Shell) String() string {
+	switch s {
+	case OneWayFilter:
+		return "one-way-filter"
+	case TwoWayCore:
+		return "two-way-core"
+	case ActiveCore:
+		return "active-core"
+	default:
+		return fmt.Sprintf("Shell(%d)", int(s))
+	}
+}
+
+// Fixed IP-core resource footprints, taken verbatim from the paper's
+// Table 1 (these are vendor cores, not outputs of the estimator):
+var (
+	// MiVCore is the Mi-V RV32 soft processor running the lightweight
+	// control plane.
+	MiVCore = fpga.Resources{LUT4: 8696, FF: 376, USRAM: 6, LSRAM: 4}
+	// ElectricalInterface is the 10G Ethernet IP core on the edge
+	// (electrical) side.
+	ElectricalInterface = fpga.Resources{LUT4: 6824, FF: 6924, USRAM: 118}
+	// OpticalInterface is the 10G Ethernet IP core on the optical side.
+	OpticalInterface = fpga.Resources{LUT4: 6813, FF: 6924, USRAM: 118}
+	// aggregatorDemux is the Two-Way-Core's extra merge/split logic; the
+	// growth over One-Way-Filter is deliberately sublinear (§4.1
+	// "Hardware Overhead: … Shared components mitigate the growth").
+	aggregatorDemux = fpga.Resources{LUT4: 1200, FF: 1400, USRAM: 16}
+	// controlPlaneMAC is the ActiveCore's third (management) interface:
+	// a lighter 1G MAC without the 10G PCS.
+	controlPlaneMAC = fpga.Resources{LUT4: 2400, FF: 2600, USRAM: 24}
+)
+
+// ShellResources returns the fixed (non-application) resources of a shell:
+// the Mi-V control core, the two 10G interfaces, and any architecture-
+// specific glue.
+func ShellResources(s Shell) fpga.Resources {
+	r := MiVCore.Add(ElectricalInterface).Add(OpticalInterface)
+	switch s {
+	case OneWayFilter:
+		return r
+	case TwoWayCore:
+		return r.Add(aggregatorDemux)
+	case ActiveCore:
+		return r.Add(aggregatorDemux).Add(controlPlaneMAC)
+	default:
+		return r
+	}
+}
+
+// ComponentBreakdown is one row of a Table 1-style report.
+type ComponentBreakdown struct {
+	Name      string
+	Resources fpga.Resources
+}
+
+// ShellBreakdown returns the per-component rows of a shell, in the order
+// the paper's Table 1 lists them.
+func ShellBreakdown(s Shell) []ComponentBreakdown {
+	rows := []ComponentBreakdown{
+		{"Mi-V", MiVCore},
+		{"Elec. I/F", ElectricalInterface},
+		{"Opt. I/F", OpticalInterface},
+	}
+	switch s {
+	case TwoWayCore:
+		rows = append(rows, ComponentBreakdown{"Agg/Demux", aggregatorDemux})
+	case ActiveCore:
+		rows = append(rows,
+			ComponentBreakdown{"Agg/Demux", aggregatorDemux},
+			ComponentBreakdown{"Ctrl MAC", controlPlaneMAC})
+	}
+	return rows
+}

@@ -1,0 +1,343 @@
+package mgmt
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"flexsfp/internal/phy"
+	"flexsfp/internal/ppe"
+)
+
+// Transport carries one encoded request to an agent and returns the
+// encoded response. Implementations: TCPTransport (out-of-band), the
+// in-band Ethernet path, or a direct in-process hop for tests.
+type Transport interface {
+	Do(req []byte) ([]byte, error)
+}
+
+// TransportFunc adapts a function to Transport.
+type TransportFunc func(req []byte) ([]byte, error)
+
+// Do implements Transport.
+func (f TransportFunc) Do(req []byte) ([]byte, error) { return f(req) }
+
+// RemoteError is a MsgError response surfaced by the client.
+type RemoteError struct {
+	Code uint16
+	Text string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("mgmt: remote error %d: %s", e.Code, e.Text)
+}
+
+// Client is the typed management client used by orchestration tooling.
+type Client struct {
+	t     Transport
+	reqID atomic.Uint32
+}
+
+// NewClient wraps a transport.
+func NewClient(t Transport) *Client { return &Client{t: t} }
+
+func (c *Client) do(typ MsgType, body []byte) ([]byte, error) {
+	id := c.reqID.Add(1)
+	resp, err := c.t.Do(Message{Type: typ, ReqID: id, Body: body}.Encode())
+	if err != nil {
+		return nil, err
+	}
+	msg, err := DecodeMessage(resp)
+	if err != nil {
+		return nil, err
+	}
+	if msg.ReqID != id {
+		return nil, fmt.Errorf("mgmt: response ID %d for request %d", msg.ReqID, id)
+	}
+	switch msg.Type {
+	case MsgOK:
+		return msg.Body, nil
+	case MsgError:
+		code, text, perr := ParseError(msg.Body)
+		if perr != nil {
+			return nil, perr
+		}
+		return nil, &RemoteError{Code: code, Text: text}
+	default:
+		return nil, fmt.Errorf("mgmt: unexpected response type %d", msg.Type)
+	}
+}
+
+// Info is the MsgPing response.
+type Info struct {
+	Name     string
+	DeviceID uint32
+	AppName  string
+	Running  bool
+}
+
+// Ping returns module identity and state.
+func (c *Client) Ping() (Info, error) {
+	body, err := c.do(MsgPing, nil)
+	if err != nil {
+		return Info{}, err
+	}
+	r := bodyReader{b: body}
+	info := Info{Name: r.str(), DeviceID: r.u32(), AppName: r.str(), Running: r.u8() == 1}
+	return info, r.err
+}
+
+// TableAdd inserts an exact-match entry.
+func (c *Client) TableAdd(table string, key, value []byte) error {
+	var w bodyWriter
+	w.str(table)
+	w.bytes(key)
+	w.bytes(value)
+	_, err := c.do(MsgTableAdd, w.b)
+	return err
+}
+
+// TableDel removes an exact-match entry.
+func (c *Client) TableDel(table string, key []byte) error {
+	var w bodyWriter
+	w.str(table)
+	w.bytes(key)
+	_, err := c.do(MsgTableDel, w.b)
+	return err
+}
+
+// TableGet reads one entry's value.
+func (c *Client) TableGet(table string, key []byte) ([]byte, error) {
+	var w bodyWriter
+	w.str(table)
+	w.bytes(key)
+	body, err := c.do(MsgTableGet, w.b)
+	if err != nil {
+		return nil, err
+	}
+	r := bodyReader{b: body}
+	v := append([]byte(nil), r.bytes()...)
+	return v, r.err
+}
+
+// TableDump returns all entries of a table.
+func (c *Client) TableDump(table string) ([]ppe.TableEntry, error) {
+	var w bodyWriter
+	w.str(table)
+	body, err := c.do(MsgTableDump, w.b)
+	if err != nil {
+		return nil, err
+	}
+	r := bodyReader{b: body}
+	n := int(r.u32())
+	out := make([]ppe.TableEntry, 0, n)
+	for i := 0; i < n; i++ {
+		e := ppe.TableEntry{
+			Key:   append([]byte(nil), r.bytes()...),
+			Value: append([]byte(nil), r.bytes()...),
+			Hits:  r.u64(),
+		}
+		out = append(out, e)
+	}
+	return out, r.err
+}
+
+// TernaryAdd inserts a masked entry.
+func (c *Client) TernaryAdd(table string, value, mask []byte, priority int, data []byte) error {
+	var w bodyWriter
+	w.str(table)
+	w.bytes(value)
+	w.bytes(mask)
+	w.u32(uint32(int32(priority)))
+	w.bytes(data)
+	_, err := c.do(MsgTernaryAdd, w.b)
+	return err
+}
+
+// TernaryClear empties a masked table.
+func (c *Client) TernaryClear(table string) error {
+	var w bodyWriter
+	w.str(table)
+	_, err := c.do(MsgTernaryClear, w.b)
+	return err
+}
+
+// CounterRead returns (packets, bytes) of one counter.
+func (c *Client) CounterRead(bank string, index int) (uint64, uint64, error) {
+	var w bodyWriter
+	w.str(bank)
+	w.u32(uint32(index))
+	body, err := c.do(MsgCounterRead, w.b)
+	if err != nil {
+		return 0, 0, err
+	}
+	r := bodyReader{b: body}
+	pkts, bytes := r.u64(), r.u64()
+	return pkts, bytes, r.err
+}
+
+// MeterSet configures a token-bucket meter.
+func (c *Client) MeterSet(bank string, index int, rateBps, burstBits float64) error {
+	var w bodyWriter
+	w.str(bank)
+	w.u32(uint32(index))
+	w.f64(rateBps)
+	w.f64(burstBits)
+	_, err := c.do(MsgMeterSet, w.b)
+	return err
+}
+
+// RegRead reads a register.
+func (c *Client) RegRead(name string) (uint64, error) {
+	var w bodyWriter
+	w.str(name)
+	body, err := c.do(MsgRegRead, w.b)
+	if err != nil {
+		return 0, err
+	}
+	r := bodyReader{b: body}
+	v := r.u64()
+	return v, r.err
+}
+
+// RegWrite writes a register.
+func (c *Client) RegWrite(name string, v uint64) error {
+	var w bodyWriter
+	w.str(name)
+	w.u64(v)
+	_, err := c.do(MsgRegWrite, w.b)
+	return err
+}
+
+// Stats is the MsgStats response.
+type Stats struct {
+	Rx, Tx        [3]uint64
+	ControlFrames uint64
+	RebootDrops   uint64
+	PuntToCPU     uint64
+	Boots         uint64
+	AuthFailures  uint64
+	Engine        ppe.EngineStats
+	Running       bool
+	AppName       string
+	ActiveSlot    int
+}
+
+// ReadStats fetches module and engine counters.
+func (c *Client) ReadStats() (Stats, error) {
+	body, err := c.do(MsgStats, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	r := bodyReader{b: body}
+	var s Stats
+	for i := 0; i < 3; i++ {
+		s.Rx[i] = r.u64()
+	}
+	for i := 0; i < 3; i++ {
+		s.Tx[i] = r.u64()
+	}
+	s.ControlFrames = r.u64()
+	s.RebootDrops = r.u64()
+	s.PuntToCPU = r.u64()
+	s.Boots = r.u64()
+	s.AuthFailures = r.u64()
+	s.Engine = ppe.EngineStats{
+		In: r.u64(), InBytes: r.u64(), QueueDrop: r.u64(),
+		Pass: r.u64(), Drop: r.u64(), Tx: r.u64(),
+		Redirect: r.u64(), ToCPU: r.u64(),
+	}
+	s.Running = r.u8() == 1
+	s.AppName = r.str()
+	s.ActiveSlot = int(r.u32())
+	return s, r.err
+}
+
+// ReadDDM fetches the diagnostics snapshot.
+func (c *Client) ReadDDM() (phy.DDM, error) {
+	body, err := c.do(MsgDDM, nil)
+	if err != nil {
+		return phy.DDM{}, err
+	}
+	r := bodyReader{b: body}
+	d := phy.DDM{
+		TemperatureC: r.f64(),
+		VccVolts:     r.f64(),
+		TxBiasMA:     r.f64(),
+		TxPowerDBm:   r.f64(),
+		RxPowerDBm:   r.f64(),
+	}
+	return d, r.err
+}
+
+// Slots lists the flash slots' stored app names ("" = empty).
+func (c *Client) Slots() ([]string, error) {
+	body, err := c.do(MsgSlotList, nil)
+	if err != nil {
+		return nil, err
+	}
+	r := bodyReader{b: body}
+	n := int(r.u32())
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.str())
+	}
+	return out, r.err
+}
+
+// XferChunkSize is the OTA transfer chunk size.
+const XferChunkSize = 32 * 1024
+
+// PushBitstream streams a signed bitstream into slot via the chunked
+// transfer FSM, optionally rebooting into it on commit.
+func (c *Client) PushBitstream(signed []byte, slot int, rebootAfter bool) error {
+	if len(signed) == 0 {
+		return errors.New("mgmt: empty bitstream")
+	}
+	var w bodyWriter
+	w.u8(uint8(slot))
+	if rebootAfter {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u32(uint32(len(signed)))
+	if _, err := c.do(MsgXferBegin, w.b); err != nil {
+		return err
+	}
+	for off := 0; off < len(signed); off += XferChunkSize {
+		end := off + XferChunkSize
+		if end > len(signed) {
+			end = len(signed)
+		}
+		var cw bodyWriter
+		cw.u32(uint32(off))
+		cw.bytes(signed[off:end])
+		if _, err := c.do(MsgXferChunk, cw.b); err != nil {
+			return err
+		}
+	}
+	_, err := c.do(MsgXferCommit, nil)
+	return err
+}
+
+// ReadEEPROM fetches and decodes the module's SFF-8472 A0h page.
+func (c *Client) ReadEEPROM() (phy.Identity, []byte, error) {
+	body, err := c.do(MsgEEPROM, nil)
+	if err != nil {
+		return phy.Identity{}, nil, err
+	}
+	id, err := phy.DecodeEEPROM(body)
+	if err != nil {
+		return phy.Identity{}, body, err
+	}
+	return id, body, nil
+}
+
+// Reboot asks the module to reboot into slot.
+func (c *Client) Reboot(slot int) error {
+	var w bodyWriter
+	w.u8(uint8(slot))
+	_, err := c.do(MsgReboot, w.b)
+	return err
+}

@@ -1,0 +1,67 @@
+package mgmt
+
+import (
+	"testing"
+
+	"flexsfp/internal/core"
+	"flexsfp/internal/packet"
+)
+
+var stationMAC = packet.MustMAC("02:ee:00:00:00:01")
+
+func TestInBandTransportPing(t *testing.T) {
+	m, _, _ := newAgentModule(t)
+	tr := NewInBandTransport(m, core.PortEdge, stationMAC, nil)
+	c := NewClient(tr)
+	info, err := c.Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "sfp-7" || !info.Running {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestInBandTransportTeesDataFrames(t *testing.T) {
+	m, _, sim := newAgentModule(t)
+	var dataFrames int
+	tr := NewInBandTransport(m, core.PortEdge, stationMAC, func(b []byte) { dataFrames++ })
+	c := NewClient(tr)
+
+	// Data through the PPE toward the edge still reaches dataTx.
+	m.RxOptical(dataFrameB())
+	sim.Run()
+	if dataFrames != 1 {
+		t.Errorf("data frames teed = %d", dataFrames)
+	}
+	// Control still works alongside.
+	if _, err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if dataFrames != 1 {
+		t.Error("control response leaked into the data path")
+	}
+}
+
+func TestInBandTransportTableOps(t *testing.T) {
+	m, _, _ := newAgentModule(t)
+	tr := NewInBandTransport(m, core.PortEdge, stationMAC, nil)
+	c := NewClient(tr)
+	if err := c.TableAdd("nat", []byte{9, 9, 9, 9}, []byte{1, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := m.App().State().Table("nat")
+	if tab.Len() != 1 {
+		t.Error("in-band table add did not land")
+	}
+}
+
+func TestInBandTransportOnOpticalPort(t *testing.T) {
+	// The orchestrator may sit upstream, reaching the module over the
+	// fiber side.
+	m, _, _ := newAgentModule(t)
+	tr := NewInBandTransport(m, core.PortOptical, stationMAC, nil)
+	if _, err := NewClient(tr).Ping(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+// Package mgmt implements the FlexSFP embedded control plane of §4:
+// a compact TLV request/response protocol served by the Mi-V management
+// core, reachable both in-band (Ethernet control frames demuxed by the
+// arbiter ahead of the PPE) and out-of-band (a real TCP listener, the
+// "network-accessible control interface"). It covers runtime table and
+// counter access with atomic updates, DDM reads, and the chunked,
+// HMAC-authenticated over-the-network bitstream push that triggers the
+// flash + reboot FSM.
+package mgmt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Protocol constants.
+const (
+	protoMagic0 = 'F'
+	protoMagic1 = 'C'
+	// ProtoVersion is the protocol version byte.
+	ProtoVersion = 1
+	headerSize   = 2 + 1 + 1 + 4 + 4
+	// MaxBody bounds a single message body.
+	MaxBody = 1 << 20
+)
+
+// MsgType identifies a request or response.
+type MsgType uint8
+
+// Message types.
+const (
+	MsgPing MsgType = iota + 1
+	MsgOK
+	MsgError
+	MsgTableAdd
+	MsgTableDel
+	MsgTableGet
+	MsgTableDump
+	MsgTernaryAdd
+	MsgTernaryClear
+	MsgCounterRead
+	MsgMeterSet
+	MsgRegRead
+	MsgRegWrite
+	MsgStats
+	MsgDDM
+	MsgSlotList
+	MsgXferBegin
+	MsgXferChunk
+	MsgXferCommit
+	MsgReboot
+	MsgEEPROM
+)
+
+// Error codes carried in MsgError.
+const (
+	CodeUnknownType uint16 = iota + 1
+	CodeBadBody
+	CodeNoSuchObject
+	CodeOpFailed
+	CodeBadState
+)
+
+// Protocol errors.
+var (
+	ErrShortMessage = errors.New("mgmt: short message")
+	ErrBadMagic     = errors.New("mgmt: bad magic")
+	ErrBadVersion   = errors.New("mgmt: bad protocol version")
+	ErrBodyTooBig   = errors.New("mgmt: body exceeds limit")
+	ErrBadBody      = errors.New("mgmt: malformed body")
+)
+
+// Message is a decoded protocol message.
+type Message struct {
+	Type  MsgType
+	ReqID uint32
+	Body  []byte
+}
+
+// Encode serializes a message.
+func (m Message) Encode() []byte {
+	out := make([]byte, headerSize+len(m.Body))
+	out[0], out[1] = protoMagic0, protoMagic1
+	out[2] = ProtoVersion
+	out[3] = uint8(m.Type)
+	binary.BigEndian.PutUint32(out[4:8], m.ReqID)
+	binary.BigEndian.PutUint32(out[8:12], uint32(len(m.Body)))
+	copy(out[headerSize:], m.Body)
+	return out
+}
+
+// DecodeMessage parses one message from data.
+func DecodeMessage(data []byte) (Message, error) {
+	if len(data) < headerSize {
+		return Message{}, ErrShortMessage
+	}
+	if data[0] != protoMagic0 || data[1] != protoMagic1 {
+		return Message{}, ErrBadMagic
+	}
+	if data[2] != ProtoVersion {
+		return Message{}, fmt.Errorf("%w: %d", ErrBadVersion, data[2])
+	}
+	blen := int(binary.BigEndian.Uint32(data[8:12]))
+	if blen > MaxBody {
+		return Message{}, ErrBodyTooBig
+	}
+	if len(data) < headerSize+blen {
+		return Message{}, ErrShortMessage
+	}
+	return Message{
+		Type:  MsgType(data[3]),
+		ReqID: binary.BigEndian.Uint32(data[4:8]),
+		Body:  data[headerSize : headerSize+blen],
+	}, nil
+}
+
+// body writer/reader helpers -------------------------------------------
+
+// bodyWriter builds TLV-ish bodies: fixed-width integers plus
+// length-prefixed byte strings.
+type bodyWriter struct{ b []byte }
+
+func (w *bodyWriter) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *bodyWriter) u16(v uint16) { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *bodyWriter) u32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *bodyWriter) u64(v uint64) { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *bodyWriter) f64(v float64) {
+	w.u64(math.Float64bits(v))
+}
+func (w *bodyWriter) bytes(v []byte) {
+	w.u16(uint16(len(v)))
+	w.b = append(w.b, v...)
+}
+func (w *bodyWriter) str(v string) { w.bytes([]byte(v)) }
+
+type bodyReader struct {
+	b   []byte
+	err error
+}
+
+func (r *bodyReader) u8() uint8 {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *bodyReader) u16() uint16 {
+	if r.err != nil || len(r.b) < 2 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v
+}
+
+func (r *bodyReader) u32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *bodyReader) u64() uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *bodyReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *bodyReader) bytes() []byte {
+	n := int(r.u16())
+	if r.err != nil || len(r.b) < n {
+		r.fail()
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *bodyReader) str() string { return string(r.bytes()) }
+
+func (r *bodyReader) fail() {
+	if r.err == nil {
+		r.err = ErrBadBody
+	}
+	r.b = nil
+}
+
+// errorBody encodes a MsgError body.
+func errorBody(code uint16, text string) []byte {
+	var w bodyWriter
+	w.u16(code)
+	w.str(text)
+	return w.b
+}
+
+// ParseError decodes a MsgError body.
+func ParseError(body []byte) (code uint16, text string, err error) {
+	r := bodyReader{b: body}
+	code = r.u16()
+	text = r.str()
+	return code, text, r.err
+}

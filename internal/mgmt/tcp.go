@@ -1,0 +1,165 @@
+package mgmt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// The out-of-band transport frames protocol messages over a TCP stream
+// with a 4-byte big-endian length prefix.
+
+const maxFrame = MaxBody + 64
+
+func writeFrame(w io.Writer, msg []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(msg)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("mgmt: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Server serves an agent's Handle function over TCP (the out-of-band
+// management port of §4.1).
+type Server struct {
+	handler func([]byte) []byte
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+}
+
+// NewServer wraps a message handler (normally Agent.Handle).
+func NewServer(handler func([]byte) []byte) *Server {
+	return &Server{
+		handler: handler,
+		conns:   make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Listen starts accepting on addr ("127.0.0.1:0" for an ephemeral port)
+// and returns the bound address. Serving happens on background
+// goroutines until Close.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		resp := s.handler(req)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+		s.ln = nil
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = map[net.Conn]struct{}{}
+	return err
+}
+
+// TCPTransport is a client-side Transport over one TCP connection.
+// Requests are serialized: one in flight at a time.
+type TCPTransport struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a module's management address.
+func Dial(addr string) (*TCPTransport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPTransport{conn: conn}, nil
+}
+
+// Do implements Transport.
+func (t *TCPTransport) Do(req []byte) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn == nil {
+		return nil, errors.New("mgmt: transport closed")
+	}
+	if err := writeFrame(t.conn, req); err != nil {
+		return nil, err
+	}
+	return readFrame(t.conn)
+}
+
+// Close closes the connection.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn == nil {
+		return nil
+	}
+	err := t.conn.Close()
+	t.conn = nil
+	return err
+}

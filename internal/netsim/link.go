@@ -1,0 +1,204 @@
+package netsim
+
+// Link models a unidirectional serial channel: frames are serialized one at
+// a time at the link's bit rate, then delivered after the propagation delay.
+// It captures the two quantities that matter for line-rate reasoning:
+// serialization time (frame bytes + per-frame overhead, e.g. Ethernet
+// preamble and inter-frame gap) and store-and-forward latency.
+//
+// A Link is not safe for concurrent use; it lives inside a Simulator.
+type Link struct {
+	sim *Simulator
+
+	// BitsPerSec is the raw signalling rate available to frames
+	// (e.g. 10e9 for 10GBASE-R after 64b/66b decode).
+	BitsPerSec int64
+
+	// Prop is the propagation delay of the medium.
+	Prop Duration
+
+	// OverheadBytes is charged per frame in addition to the frame length
+	// (Ethernet: 7 preamble + 1 SFD + 12 IFG = 20 bytes).
+	OverheadBytes int
+
+	// QueueLimit bounds the number of frames waiting for serialization;
+	// 0 means unbounded. Frames arriving at a full queue are dropped.
+	QueueLimit int
+
+	deliver func(data []byte)
+
+	// busyUntilPs tracks transmitter occupancy in picoseconds so that
+	// back-to-back minimum frames at 10 Gb/s (67.2 ns each) accumulate
+	// without rounding drift; delivery events round up to whole ns.
+	busyUntilPs int64
+	queued      int
+
+	stats LinkStats
+}
+
+// LinkStats counts traffic carried and dropped by a Link.
+type LinkStats struct {
+	TxFrames uint64 // frames fully serialized onto the wire
+	TxBytes  uint64 // frame bytes (excluding per-frame overhead)
+	Drops    uint64 // frames dropped at a full queue
+}
+
+// NewLink creates a link inside sim delivering frames to deliver.
+// The default per-frame overhead is the Ethernet preamble+IFG (20 bytes).
+func NewLink(sim *Simulator, bitsPerSec int64, prop Duration, deliver func(data []byte)) *Link {
+	if bitsPerSec <= 0 {
+		panic("netsim: link rate must be positive")
+	}
+	return &Link{
+		sim:           sim,
+		BitsPerSec:    bitsPerSec,
+		Prop:          prop,
+		OverheadBytes: 20,
+		deliver:       deliver,
+	}
+}
+
+// SetDeliver replaces the delivery callback (used when wiring topologies
+// after link construction).
+func (l *Link) SetDeliver(deliver func(data []byte)) { l.deliver = deliver }
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// SerializationTime returns how long a frame of n bytes occupies the wire,
+// including per-frame overhead, rounded up to whole nanoseconds.
+func (l *Link) SerializationTime(n int) Duration {
+	return Duration(ceilDiv(l.serializationPs(n), 1000))
+}
+
+func (l *Link) serializationPs(n int) int64 {
+	bits := int64(n+l.OverheadBytes) * 8
+	return ceilDiv(bits*1_000_000_000_000, l.BitsPerSec)
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// Busy reports whether the transmitter is currently serializing a frame.
+func (l *Link) Busy() bool { return int64(l.sim.Now())*1000 < l.busyUntilPs }
+
+// QueueDepth returns the number of frames waiting behind the transmitter.
+func (l *Link) QueueDepth() int { return l.queued }
+
+// Send enqueues data for transmission. It returns false if the frame was
+// dropped because the transmit queue is full. The data slice is retained
+// until delivery; callers that reuse buffers must copy first.
+func (l *Link) Send(data []byte) bool {
+	nowPs := int64(l.sim.Now()) * 1000
+	startPs := l.busyUntilPs
+	if startPs < nowPs {
+		startPs = nowPs
+	}
+	if l.QueueLimit > 0 && startPs > nowPs && l.queued >= l.QueueLimit {
+		l.stats.Drops++
+		return false
+	}
+	txDonePs := startPs + l.serializationPs(len(data))
+	l.busyUntilPs = txDonePs
+	if startPs > nowPs {
+		l.queued++
+	}
+	txDone := Time(ceilDiv(txDonePs, 1000))
+	l.sim.ScheduleAt(txDone, func() {
+		// Frame has left the transmitter.
+		l.stats.TxFrames++
+		l.stats.TxBytes += uint64(len(data))
+	})
+	l.sim.ScheduleAt(txDone.Add(l.Prop), func() {
+		if l.queued > 0 {
+			l.queued--
+		}
+		if l.deliver != nil {
+			l.deliver(data)
+		}
+	})
+	return true
+}
+
+// Utilization returns the fraction of the interval [since, now] during
+// which the transmitter was busy, approximated from bytes carried.
+func (l *Link) Utilization(since Time) float64 {
+	elapsed := l.sim.Now().Sub(since)
+	if elapsed <= 0 {
+		return 0
+	}
+	bits := float64(l.stats.TxBytes+uint64(l.stats.TxFrames)*uint64(l.OverheadBytes)) * 8
+	return bits / (float64(l.BitsPerSec) * elapsed.Seconds())
+}
+
+// Pipe is a bidirectional channel built from two independent links with
+// identical rate and propagation delay, named by convention A→B and B→A.
+type Pipe struct {
+	AtoB *Link
+	BtoA *Link
+}
+
+// NewPipe builds a full-duplex pipe. Delivery callbacks are initially nil;
+// wire them with SetDeliver on each direction.
+func NewPipe(sim *Simulator, bitsPerSec int64, prop Duration) *Pipe {
+	return &Pipe{
+		AtoB: NewLink(sim, bitsPerSec, prop, nil),
+		BtoA: NewLink(sim, bitsPerSec, prop, nil),
+	}
+}
+
+// RateMeter accumulates frame/byte counts over simulated time to report
+// average packet and bit rates.
+type RateMeter struct {
+	sim     *Simulator
+	start   Time
+	Frames  uint64
+	Bytes   uint64
+	MinSize int
+	MaxSize int
+}
+
+// NewRateMeter creates a meter that measures from the current sim time.
+func NewRateMeter(sim *Simulator) *RateMeter {
+	return &RateMeter{sim: sim, start: sim.Now(), MinSize: -1}
+}
+
+// Observe records a frame of n bytes.
+func (m *RateMeter) Observe(n int) {
+	m.Frames++
+	m.Bytes += uint64(n)
+	if m.MinSize < 0 || n < m.MinSize {
+		m.MinSize = n
+	}
+	if n > m.MaxSize {
+		m.MaxSize = n
+	}
+}
+
+// Reset restarts the measurement window at the current sim time.
+func (m *RateMeter) Reset() {
+	m.start = m.sim.Now()
+	m.Frames, m.Bytes = 0, 0
+	m.MinSize, m.MaxSize = -1, 0
+}
+
+// Elapsed returns the length of the measurement window.
+func (m *RateMeter) Elapsed() Duration { return m.sim.Now().Sub(m.start) }
+
+// PPS returns the average packet rate over the window.
+func (m *RateMeter) PPS() float64 {
+	sec := m.Elapsed().Seconds()
+	if sec <= 0 {
+		return 0
+	}
+	return float64(m.Frames) / sec
+}
+
+// BitsPerSec returns the average payload bit rate over the window
+// (frame bytes only; no per-frame overhead).
+func (m *RateMeter) BitsPerSec() float64 {
+	sec := m.Elapsed().Seconds()
+	if sec <= 0 {
+		return 0
+	}
+	return float64(m.Bytes) * 8 / sec
+}

@@ -1,0 +1,185 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const tenGig = 10_000_000_000
+
+func TestSerializationTime64B(t *testing.T) {
+	s := New(1)
+	l := NewLink(s, tenGig, 0, nil)
+	// 64B frame + 20B preamble/IFG = 672 bits @ 10 Gb/s = 67.2 ns → 68 ns (ceil).
+	got := l.SerializationTime(64)
+	if got != 68 {
+		t.Errorf("SerializationTime(64) = %d ns, want 68", got)
+	}
+	// 1518B + 20B = 12304 bits = 1230.4 ns → 1231.
+	if got := l.SerializationTime(1518); got != 1231 {
+		t.Errorf("SerializationTime(1518) = %d ns, want 1231", got)
+	}
+}
+
+func TestLinkDelivery(t *testing.T) {
+	s := New(1)
+	var gotAt Time
+	var gotLen int
+	l := NewLink(s, tenGig, 100, func(data []byte) {
+		gotAt = s.Now()
+		gotLen = len(data)
+	})
+	l.Send(make([]byte, 64))
+	s.Run()
+	// serialization 68 ns + prop 100 ns.
+	if gotAt != 168 {
+		t.Errorf("delivered at %v, want 168", gotAt)
+	}
+	if gotLen != 64 {
+		t.Errorf("delivered %d bytes, want 64", gotLen)
+	}
+	st := l.Stats()
+	if st.TxFrames != 1 || st.TxBytes != 64 {
+		t.Errorf("stats = %+v, want 1 frame / 64 bytes", st)
+	}
+}
+
+func TestLinkBackToBackSerialization(t *testing.T) {
+	s := New(1)
+	var times []Time
+	l := NewLink(s, tenGig, 0, func(data []byte) { times = append(times, s.Now()) })
+	for i := 0; i < 3; i++ {
+		l.Send(make([]byte, 64))
+	}
+	s.Run()
+	if len(times) != 3 {
+		t.Fatalf("delivered %d frames, want 3", len(times))
+	}
+	// Frames serialize back to back at exactly 67.2 ns spacing;
+	// delivery events round up to whole ns: 68, 135, 202.
+	want := []Time{68, 135, 202}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("frame %d delivered at %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestLinkQueueLimitDrops(t *testing.T) {
+	s := New(1)
+	delivered := 0
+	l := NewLink(s, tenGig, 0, func(data []byte) { delivered++ })
+	l.QueueLimit = 2
+	sent := 0
+	for i := 0; i < 10; i++ {
+		if l.Send(make([]byte, 1500)) {
+			sent++
+		}
+	}
+	s.Run()
+	// One in flight + two queued = 3 accepted.
+	if sent != 3 {
+		t.Errorf("accepted %d frames, want 3", sent)
+	}
+	if delivered != 3 {
+		t.Errorf("delivered %d frames, want 3", delivered)
+	}
+	if l.Stats().Drops != 7 {
+		t.Errorf("drops = %d, want 7", l.Stats().Drops)
+	}
+}
+
+func TestLinkLineRate(t *testing.T) {
+	// Offer exactly line rate of minimum-size frames for 1 ms and verify
+	// throughput ≈ 14.88 Mpps, the 10GbE worst case.
+	s := New(1)
+	meter := NewRateMeter(s)
+	l := NewLink(s, tenGig, 0, func(data []byte) { meter.Observe(len(data)) })
+	interval := Duration(6720) // 100 frames × 67.2 ns wire time per burst
+	frames := 0
+	s.Every(interval, func() bool {
+		for i := 0; i < 100; i++ {
+			l.Send(make([]byte, 64))
+		}
+		frames += 100
+		return frames < 14880
+	})
+	s.Run()
+	pps := meter.PPS()
+	if math.Abs(pps-14.88e6)/14.88e6 > 0.01 {
+		t.Errorf("line-rate pps = %.0f, want ≈14.88e6", pps)
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	s := New(1)
+	l := NewLink(s, tenGig, 0, func(data []byte) {})
+	start := s.Now()
+	// Send frames covering exactly half the window.
+	l.Send(make([]byte, 1230)) // 1250B incl. overhead = 1 µs on the wire
+	s.RunUntil(Time(2 * Microsecond))
+	u := l.Utilization(start)
+	if math.Abs(u-0.5) > 0.01 {
+		t.Errorf("utilization = %.3f, want 0.5", u)
+	}
+}
+
+func TestRateMeter(t *testing.T) {
+	s := New(1)
+	m := NewRateMeter(s)
+	s.Schedule(Duration(Second), func() {
+		m.Observe(500)
+		m.Observe(1500)
+	})
+	s.Run()
+	if m.Frames != 2 || m.Bytes != 2000 {
+		t.Errorf("meter frames=%d bytes=%d, want 2/2000", m.Frames, m.Bytes)
+	}
+	if m.MinSize != 500 || m.MaxSize != 1500 {
+		t.Errorf("min/max = %d/%d, want 500/1500", m.MinSize, m.MaxSize)
+	}
+	if pps := m.PPS(); math.Abs(pps-2) > 1e-9 {
+		t.Errorf("PPS = %v, want 2", pps)
+	}
+	if bps := m.BitsPerSec(); math.Abs(bps-16000) > 1e-6 {
+		t.Errorf("BitsPerSec = %v, want 16000", bps)
+	}
+	m.Reset()
+	if m.Frames != 0 || m.Elapsed() != 0 {
+		t.Error("Reset did not clear the meter")
+	}
+}
+
+func TestPipeIndependentDirections(t *testing.T) {
+	s := New(1)
+	p := NewPipe(s, tenGig, 10)
+	var ab, ba int
+	p.AtoB.SetDeliver(func(data []byte) { ab++ })
+	p.BtoA.SetDeliver(func(data []byte) { ba++ })
+	p.AtoB.Send(make([]byte, 64))
+	p.AtoB.Send(make([]byte, 64))
+	p.BtoA.Send(make([]byte, 64))
+	s.Run()
+	if ab != 2 || ba != 1 {
+		t.Errorf("ab=%d ba=%d, want 2/1", ab, ba)
+	}
+}
+
+// Property: delivery time is monotone in frame size and never before
+// serialization+propagation of a minimum frame.
+func TestDeliveryTimeProperty(t *testing.T) {
+	f := func(size uint16, prop uint16) bool {
+		n := int(size)%9000 + 1
+		s := New(3)
+		var at Time
+		l := NewLink(s, tenGig, Duration(prop), func(data []byte) { at = s.Now() })
+		l.Send(make([]byte, n))
+		s.Run()
+		want := l.SerializationTime(n) + Duration(prop)
+		return at == Time(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

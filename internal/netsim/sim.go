@@ -1,0 +1,251 @@
+// Package netsim provides a deterministic discrete-event simulation kernel
+// used by every time-dependent component of the FlexSFP model: links,
+// packet-processing engines, flash timing, traffic generators, and the
+// reliability fleet simulator.
+//
+// The kernel is single-threaded by design. All state mutation happens
+// inside event callbacks executed by Run/Step, which keeps the simulation
+// reproducible for a given seed and makes component models trivially safe
+// to compose.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in simulated time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Seconds returns the time as a floating-point number of seconds since
+// simulation start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Add returns the time advanced by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier time u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.9fs", t.Seconds())
+}
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(d)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// Event is a scheduled callback. It can be canceled before it fires.
+type Event struct {
+	at       Time
+	seq      uint64 // tie-breaker: FIFO among same-time events
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// At returns the simulated time at which the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel has been called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the simulated clock and the pending-event queue.
+type Simulator struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	fired  uint64
+}
+
+// New returns a simulator whose clock starts at zero and whose random
+// source is seeded deterministically with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulator's deterministic random source. All model
+// randomness (measurement noise, traffic arrival jitter, failure sampling)
+// must come from here so runs are reproducible.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Pending returns the number of events waiting to fire.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Fired returns the total number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Schedule runs fn after delay d of simulated time. A negative delay is
+// treated as zero (fires "now", after already-queued same-time events).
+func (s *Simulator) Schedule(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.ScheduleAt(s.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at absolute simulated time t. Times in the past are
+// clamped to the current time.
+func (s *Simulator) ScheduleAt(t Time, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It returns false when no events remain.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes all events scheduled at or before t, then advances the
+// clock to exactly t. Events scheduled after t remain pending.
+func (s *Simulator) RunUntil(t Time) {
+	for {
+		e := s.peek()
+		if e == nil || e.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor executes events for a span d of simulated time starting now.
+func (s *Simulator) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+func (s *Simulator) peek() *Event {
+	for len(s.events) > 0 {
+		if s.events[0].canceled {
+			heap.Pop(&s.events)
+			continue
+		}
+		return s.events[0]
+	}
+	return nil
+}
+
+// Every schedules fn to run every period, starting one period from now,
+// until the returned Ticker is stopped. If fn returns false the ticker
+// stops itself.
+func (s *Simulator) Every(period Duration, fn func() bool) *Ticker {
+	if period <= 0 {
+		panic("netsim: ticker period must be positive")
+	}
+	t := &Ticker{sim: s, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker is a repeating event created by Simulator.Every.
+type Ticker struct {
+	sim     *Simulator
+	period  Duration
+	fn      func() bool
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.sim.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		if !t.fn() {
+			t.stopped = true
+			return
+		}
+		t.arm()
+	})
+}
+
+// Stop cancels the ticker. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}

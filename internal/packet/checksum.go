@@ -1,0 +1,45 @@
+package packet
+
+import "encoding/binary"
+
+// Checksum implements the Internet checksum (RFC 1071) over data.
+func Checksum(data []byte) uint16 {
+	return finishChecksum(sumBytes(0, data))
+}
+
+func sumBytes(sum uint32, data []byte) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i:]))
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	return sum
+}
+
+func finishChecksum(sum uint32) uint16 {
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum computes the partial sum of the IPv4/IPv6 pseudo header
+// used by TCP, UDP and (for IPv6) ICMP checksums.
+func pseudoHeaderSum(srcIP, dstIP []byte, proto IPProtocol, length int) uint32 {
+	sum := sumBytes(0, srcIP)
+	sum = sumBytes(sum, dstIP)
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// TransportChecksum computes the L4 checksum of segment carried between
+// srcIP and dstIP with protocol proto. srcIP/dstIP must both be 4-byte or
+// both 16-byte slices.
+func TransportChecksum(segment, srcIP, dstIP []byte, proto IPProtocol) uint16 {
+	sum := pseudoHeaderSum(srcIP, dstIP, proto, len(segment))
+	sum = sumBytes(sum, segment)
+	return finishChecksum(sum)
+}

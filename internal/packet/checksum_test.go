@@ -1,0 +1,70 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChecksumRFC1071Example(t *testing.T) {
+	// Example from RFC 1071 §3: data 00 01 f2 03 f4 f5 f6 f7 sums to
+	// ddf2 (before complement), so the checksum is ^0xddf2 = 0x220d.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != 0x220d {
+		t.Errorf("Checksum = %#04x, want 0x220d", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Odd byte is padded with a zero byte on the right.
+	if Checksum([]byte{0xab}) != Checksum([]byte{0xab, 0x00}) {
+		t.Error("odd-length checksum disagrees with zero-padded even length")
+	}
+}
+
+func TestChecksumEmpty(t *testing.T) {
+	if got := Checksum(nil); got != 0xffff {
+		t.Errorf("Checksum(nil) = %#04x, want 0xffff", got)
+	}
+}
+
+// Property: embedding the complement checksum into any even-length message
+// makes the whole message sum to zero (the receiver-side verification).
+func TestChecksumSelfVerifyProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data)%2 == 1 {
+			data = append(data, 0)
+		}
+		msg := make([]byte, len(data)+2)
+		copy(msg[2:], data)
+		c := Checksum(msg)
+		msg[0] = byte(c >> 8)
+		msg[1] = byte(c)
+		return Checksum(msg) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransportChecksumDetectsCorruption(t *testing.T) {
+	seg := []byte{0, 53, 0, 99, 0, 12, 0, 0, 1, 2, 3, 4}
+	s4, d4 := ip1.As4(), ip2.As4()
+	c := TransportChecksum(seg, s4[:], d4[:], IPProtocolUDP)
+	seg[6] = byte(c >> 8)
+	seg[7] = byte(c)
+	if TransportChecksum(seg, s4[:], d4[:], IPProtocolUDP) != 0 {
+		t.Fatal("checksum does not self-verify")
+	}
+	seg[9] ^= 0x40
+	if TransportChecksum(seg, s4[:], d4[:], IPProtocolUDP) == 0 {
+		t.Error("corruption not detected")
+	}
+	// Pseudo-header participation: different src IP must break it.
+	o4 := ip61.As16()
+	_ = o4
+	alt := [4]byte{10, 0, 0, 99}
+	seg[9] ^= 0x40 // restore
+	if TransportChecksum(seg, alt[:], d4[:], IPProtocolUDP) == 0 {
+		t.Error("pseudo-header src IP not covered")
+	}
+}

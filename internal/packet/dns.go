@@ -1,0 +1,250 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// DNS record types and classes the model uses.
+const (
+	DNSTypeA     uint16 = 1
+	DNSTypeNS    uint16 = 2
+	DNSTypeCNAME uint16 = 5
+	DNSTypeAAAA  uint16 = 28
+	DNSTypeHTTPS uint16 = 65
+	DNSClassIN   uint16 = 1
+)
+
+// DNSQuestion is one entry of the question section.
+type DNSQuestion struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// DNSAnswer is one resource record with opaque RDATA.
+type DNSAnswer struct {
+	Name  string
+	Type  uint16
+	Class uint16
+	TTL   uint32
+	Data  []byte
+}
+
+// DNS is a compact DNS message view: full header, parsed questions and
+// answers with opaque RDATA — enough for the paper's DNS/DoH filtering use
+// case (P4DDPI-style) and for telemetry tests.
+type DNS struct {
+	ID        uint16
+	QR        bool // response
+	Opcode    uint8
+	AA, TC    bool
+	RD, RA    bool
+	RCode     uint8
+	Questions []DNSQuestion
+	Answers   []DNSAnswer
+	// NSCount/ARCount records are counted but not parsed.
+	NSCount, ARCount uint16
+	payload          []byte
+}
+
+// LayerType implements Layer.
+func (d *DNS) LayerType() LayerType { return LayerTypeDNS }
+
+// DecodeFromBytes implements Layer.
+func (d *DNS) DecodeFromBytes(data []byte) error {
+	if len(data) < 12 {
+		return ErrTooShort
+	}
+	d.ID = binary.BigEndian.Uint16(data[0:2])
+	flags := binary.BigEndian.Uint16(data[2:4])
+	d.QR = flags&0x8000 != 0
+	d.Opcode = uint8(flags>>11) & 0xf
+	d.AA = flags&0x0400 != 0
+	d.TC = flags&0x0200 != 0
+	d.RD = flags&0x0100 != 0
+	d.RA = flags&0x0080 != 0
+	d.RCode = uint8(flags & 0xf)
+	qd := int(binary.BigEndian.Uint16(data[4:6]))
+	an := int(binary.BigEndian.Uint16(data[6:8]))
+	d.NSCount = binary.BigEndian.Uint16(data[8:10])
+	d.ARCount = binary.BigEndian.Uint16(data[10:12])
+	off := 12
+	d.Questions = d.Questions[:0]
+	for i := 0; i < qd; i++ {
+		name, n, err := decodeName(data, off)
+		if err != nil {
+			return err
+		}
+		off += n
+		if len(data) < off+4 {
+			return ErrTooShort
+		}
+		d.Questions = append(d.Questions, DNSQuestion{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(data[off:]),
+			Class: binary.BigEndian.Uint16(data[off+2:]),
+		})
+		off += 4
+	}
+	d.Answers = d.Answers[:0]
+	for i := 0; i < an; i++ {
+		name, n, err := decodeName(data, off)
+		if err != nil {
+			return err
+		}
+		off += n
+		if len(data) < off+10 {
+			return ErrTooShort
+		}
+		rdlen := int(binary.BigEndian.Uint16(data[off+8:]))
+		if len(data) < off+10+rdlen {
+			return ErrTruncated
+		}
+		d.Answers = append(d.Answers, DNSAnswer{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(data[off:]),
+			Class: binary.BigEndian.Uint16(data[off+2:]),
+			TTL:   binary.BigEndian.Uint32(data[off+4:]),
+			Data:  data[off+10 : off+10+rdlen],
+		})
+		off += 10 + rdlen
+	}
+	d.payload = data[off:]
+	return nil
+}
+
+// decodeName decodes a possibly-compressed DNS name starting at off,
+// returning the dotted name and the number of bytes consumed at off.
+func decodeName(data []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	consumed := 0
+	jumped := false
+	hops := 0
+	pos := off
+	for {
+		if pos >= len(data) {
+			return "", 0, ErrTooShort
+		}
+		b := data[pos]
+		switch {
+		case b == 0:
+			if !jumped {
+				consumed = pos - off + 1
+			}
+			return sb.String(), consumed, nil
+		case b&0xc0 == 0xc0:
+			if pos+1 >= len(data) {
+				return "", 0, ErrTooShort
+			}
+			if !jumped {
+				consumed = pos - off + 2
+			}
+			ptr := int(binary.BigEndian.Uint16(data[pos:]) & 0x3fff)
+			if ptr >= pos {
+				return "", 0, fmt.Errorf("%w: forward DNS compression pointer", ErrBadHeader)
+			}
+			pos = ptr
+			jumped = true
+			hops++
+			if hops > 16 {
+				return "", 0, fmt.Errorf("%w: DNS compression loop", ErrBadHeader)
+			}
+		case b&0xc0 != 0:
+			return "", 0, fmt.Errorf("%w: reserved DNS label flag", ErrBadHeader)
+		default:
+			l := int(b)
+			if pos+1+l > len(data) {
+				return "", 0, ErrTooShort
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(data[pos+1 : pos+1+l])
+			pos += 1 + l
+		}
+	}
+}
+
+func encodeName(b *SerializeBuffer, name string) error {
+	if name == "" {
+		copy(b.AppendBytes(1), []byte{0})
+		return nil
+	}
+	labels := strings.Split(name, ".")
+	total := 1
+	for _, l := range labels {
+		if len(l) == 0 || len(l) > 63 {
+			return fmt.Errorf("%w: DNS label %q", ErrBadHeader, l)
+		}
+		total += 1 + len(l)
+	}
+	out := b.AppendBytes(total)
+	i := 0
+	for _, l := range labels {
+		out[i] = byte(len(l))
+		copy(out[i+1:], l)
+		i += 1 + len(l)
+	}
+	out[i] = 0
+	return nil
+}
+
+// NextLayerType implements Layer.
+func (d *DNS) NextLayerType() LayerType { return LayerTypePayload }
+
+// LayerPayload implements Layer.
+func (d *DNS) LayerPayload() []byte { return d.payload }
+
+// SerializeTo implements SerializableLayer. Names are written uncompressed.
+func (d *DNS) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	// DNS builds front to back into a scratch buffer, then prepends.
+	scratch := NewSerializeBufferExpectedSize(0, 512)
+	hdr := scratch.AppendBytes(12)
+	binary.BigEndian.PutUint16(hdr[0:2], d.ID)
+	var flags uint16
+	if d.QR {
+		flags |= 0x8000
+	}
+	flags |= uint16(d.Opcode&0xf) << 11
+	if d.AA {
+		flags |= 0x0400
+	}
+	if d.TC {
+		flags |= 0x0200
+	}
+	if d.RD {
+		flags |= 0x0100
+	}
+	if d.RA {
+		flags |= 0x0080
+	}
+	flags |= uint16(d.RCode & 0xf)
+	binary.BigEndian.PutUint16(hdr[2:4], flags)
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(d.Questions)))
+	binary.BigEndian.PutUint16(hdr[6:8], uint16(len(d.Answers)))
+	binary.BigEndian.PutUint16(hdr[8:10], d.NSCount)
+	binary.BigEndian.PutUint16(hdr[10:12], d.ARCount)
+	for _, q := range d.Questions {
+		if err := encodeName(scratch, q.Name); err != nil {
+			return err
+		}
+		qb := scratch.AppendBytes(4)
+		binary.BigEndian.PutUint16(qb[0:2], q.Type)
+		binary.BigEndian.PutUint16(qb[2:4], q.Class)
+	}
+	for _, a := range d.Answers {
+		if err := encodeName(scratch, a.Name); err != nil {
+			return err
+		}
+		ab := scratch.AppendBytes(10 + len(a.Data))
+		binary.BigEndian.PutUint16(ab[0:2], a.Type)
+		binary.BigEndian.PutUint16(ab[2:4], a.Class)
+		binary.BigEndian.PutUint32(ab[4:8], a.TTL)
+		binary.BigEndian.PutUint16(ab[8:10], uint16(len(a.Data)))
+		copy(ab[10:], a.Data)
+	}
+	copy(b.PrependBytes(scratch.Len()), scratch.Bytes())
+	return nil
+}

@@ -1,0 +1,145 @@
+package packet
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDNSQueryRoundTrip(t *testing.T) {
+	q := &DNS{
+		ID: 0x1234, RD: true,
+		Questions: []DNSQuestion{{Name: "dns.example.com", Type: DNSTypeA, Class: DNSClassIN}},
+	}
+	data := serialize(t, fixOpts, q)
+	var got DNS
+	if err := got.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 0x1234 || !got.RD || got.QR {
+		t.Errorf("header = %+v", got)
+	}
+	if len(got.Questions) != 1 || got.Questions[0].Name != "dns.example.com" ||
+		got.Questions[0].Type != DNSTypeA {
+		t.Errorf("questions = %+v", got.Questions)
+	}
+}
+
+func TestDNSResponseWithAnswers(t *testing.T) {
+	r := &DNS{
+		ID: 7, QR: true, RA: true, AA: true,
+		Questions: []DNSQuestion{{Name: "doh.dns.example", Type: DNSTypeHTTPS, Class: DNSClassIN}},
+		Answers: []DNSAnswer{
+			{Name: "doh.dns.example", Type: DNSTypeA, Class: DNSClassIN, TTL: 300, Data: []byte{1, 2, 3, 4}},
+			{Name: "doh.dns.example", Type: DNSTypeAAAA, Class: DNSClassIN, TTL: 300, Data: make([]byte, 16)},
+		},
+	}
+	data := serialize(t, fixOpts, r)
+	var got DNS
+	if err := got.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if !got.QR || !got.AA || !got.RA {
+		t.Errorf("flags = %+v", got)
+	}
+	if len(got.Answers) != 2 {
+		t.Fatalf("answers = %d", len(got.Answers))
+	}
+	if got.Answers[0].TTL != 300 || len(got.Answers[0].Data) != 4 {
+		t.Errorf("answer 0 = %+v", got.Answers[0])
+	}
+	if got.Answers[1].Type != DNSTypeAAAA {
+		t.Errorf("answer 1 type = %d", got.Answers[1].Type)
+	}
+}
+
+func TestDNSOverUDPDecode(t *testing.T) {
+	q := &DNS{ID: 9, RD: true, Questions: []DNSQuestion{{Name: "a.b", Type: DNSTypeA, Class: DNSClassIN}}}
+	ip := &IPv4{TTL: 64, Protocol: IPProtocolUDP, SrcIP: ip1, DstIP: ip2}
+	udp := &UDP{SrcPort: 3333, DstPort: PortDNS}
+	if err := udp.SetNetworkLayerForChecksum(ip1, ip2); err != nil {
+		t.Fatal(err)
+	}
+	data := serialize(t, fixOpts,
+		&Ethernet{SrcMAC: macA, DstMAC: macB, EtherType: EtherTypeIPv4},
+		ip, udp, q)
+	pkt := NewPacket(data, LayerTypeEthernet)
+	if pkt.ErrorLayer() != nil {
+		t.Fatal(pkt.ErrorLayer())
+	}
+	d := pkt.Layer(LayerTypeDNS)
+	if d == nil {
+		t.Fatal("DNS layer not decoded from UDP port 53")
+	}
+	if d.(*DNS).Questions[0].Name != "a.b" {
+		t.Errorf("question = %+v", d.(*DNS).Questions)
+	}
+}
+
+func TestDNSCompressionPointer(t *testing.T) {
+	// Hand-built response: question "x.yz" at offset 12, answer name is a
+	// pointer back to offset 12.
+	msg := []byte{
+		0x00, 0x01, 0x80, 0x00, // ID, QR=1
+		0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, // counts
+		1, 'x', 2, 'y', 'z', 0, // name at offset 12
+		0x00, 0x01, 0x00, 0x01, // qtype A, class IN
+		0xc0, 12, // answer name: pointer to offset 12
+		0x00, 0x01, 0x00, 0x01, // type A, class IN
+		0x00, 0x00, 0x00, 0x3c, // TTL 60
+		0x00, 0x04, 9, 9, 9, 9, // rdlength 4, rdata
+	}
+	var d DNS
+	if err := d.DecodeFromBytes(msg); err != nil {
+		t.Fatal(err)
+	}
+	if d.Questions[0].Name != "x.yz" {
+		t.Errorf("question name = %q", d.Questions[0].Name)
+	}
+	if d.Answers[0].Name != "x.yz" {
+		t.Errorf("answer name = %q (compression pointer not followed)", d.Answers[0].Name)
+	}
+}
+
+func TestDNSCompressionLoopRejected(t *testing.T) {
+	// A pointer to itself must not loop forever. Forward/self pointers are
+	// rejected outright.
+	msg := []byte{
+		0, 1, 0, 0,
+		0, 1, 0, 0, 0, 0, 0, 0,
+		0xc0, 12, // name: pointer to itself
+		0, 1, 0, 1,
+	}
+	var d DNS
+	if err := d.DecodeFromBytes(msg); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("err = %v, want ErrBadHeader", err)
+	}
+}
+
+func TestDNSTruncatedAnswer(t *testing.T) {
+	msg := []byte{
+		0, 1, 0x80, 0,
+		0, 0, 0, 1, 0, 0, 0, 0, // one answer
+		1, 'a', 0, // answer name
+		0, 1, 0, 1, 0, 0, 0, 60,
+		0, 50, // rdlength 50, but no rdata follows
+	}
+	var d DNS
+	if err := d.DecodeFromBytes(msg); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestDNSBadLabels(t *testing.T) {
+	buf := NewSerializeBuffer()
+	d := &DNS{Questions: []DNSQuestion{{Name: "bad..label", Type: DNSTypeA, Class: DNSClassIN}}}
+	if err := d.SerializeTo(buf, fixOpts); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("err = %v, want ErrBadHeader", err)
+	}
+}
+
+func TestDNSTooShort(t *testing.T) {
+	var d DNS
+	if err := d.DecodeFromBytes(make([]byte, 11)); !errors.Is(err, ErrTooShort) {
+		t.Errorf("err = %v, want ErrTooShort", err)
+	}
+}

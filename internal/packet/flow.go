@@ -1,0 +1,109 @@
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Endpoint is one end of a transport flow.
+type Endpoint struct {
+	IP   netip.Addr
+	Port uint16
+}
+
+func (e Endpoint) String() string {
+	return fmt.Sprintf("%s:%d", e.IP, e.Port)
+}
+
+// Flow is a 5-tuple. It is comparable and usable as a map key.
+type Flow struct {
+	Proto IPProtocol
+	Src   Endpoint
+	Dst   Endpoint
+}
+
+func (f Flow) String() string {
+	return fmt.Sprintf("%d %s->%s", f.Proto, f.Src, f.Dst)
+}
+
+// Reverse returns the flow with src and dst swapped.
+func (f Flow) Reverse() Flow {
+	return Flow{Proto: f.Proto, Src: f.Dst, Dst: f.Src}
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvAddr(h uint64, a netip.Addr) uint64 {
+	if a.Is4() {
+		b := a.As4()
+		for _, c := range b {
+			h = (h ^ uint64(c)) * fnvPrime64
+		}
+		return h
+	}
+	b := a.As16()
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}
+
+func fnvU16(h uint64, v uint16) uint64 {
+	h = (h ^ uint64(v>>8)) * fnvPrime64
+	h = (h ^ uint64(v&0xff)) * fnvPrime64
+	return h
+}
+
+func endpointHash(e Endpoint) uint64 {
+	return fnvU16(fnvAddr(fnvOffset64, e.IP), e.Port)
+}
+
+// Hash returns a directional 64-bit hash of the flow: A→B and B→A hash
+// differently.
+func (f Flow) Hash() uint64 {
+	h := fnvAddr(fnvOffset64, f.Src.IP)
+	h = fnvU16(h, f.Src.Port)
+	h = fnvAddr(h, f.Dst.IP)
+	h = fnvU16(h, f.Dst.Port)
+	h = (h ^ uint64(f.Proto)) * fnvPrime64
+	return h
+}
+
+// FastHash returns a symmetric 64-bit hash: A→B and B→A hash identically,
+// which keeps both directions of a connection on the same bucket when
+// load-balancing (the property Katran-style steering relies on).
+func (f Flow) FastHash() uint64 {
+	a := endpointHash(f.Src)
+	b := endpointHash(f.Dst)
+	// Commutative combine, then mix in the protocol.
+	h := a + b
+	h ^= a * b
+	h = (h ^ uint64(f.Proto)) * fnvPrime64
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// FlowFromIPv4 builds a Flow from a decoded IPv4 header plus transport
+// ports (zero for port-less protocols).
+func FlowFromIPv4(ip *IPv4, srcPort, dstPort uint16) Flow {
+	return Flow{
+		Proto: ip.Protocol,
+		Src:   Endpoint{IP: ip.SrcIP, Port: srcPort},
+		Dst:   Endpoint{IP: ip.DstIP, Port: dstPort},
+	}
+}
+
+// FlowFromIPv6 builds a Flow from a decoded IPv6 header plus transport
+// ports (zero for port-less protocols).
+func FlowFromIPv6(ip *IPv6, srcPort, dstPort uint16) Flow {
+	return Flow{
+		Proto: ip.NextHeader,
+		Src:   Endpoint{IP: ip.SrcIP, Port: srcPort},
+		Dst:   Endpoint{IP: ip.DstIP, Port: dstPort},
+	}
+}

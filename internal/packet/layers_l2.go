@@ -1,0 +1,276 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"net/netip"
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// ParseMAC parses a textual MAC address ("aa:bb:cc:dd:ee:ff").
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	hw, err := net.ParseMAC(s)
+	if err != nil {
+		return m, err
+	}
+	if len(hw) != 6 {
+		return m, fmt.Errorf("packet: MAC %q is not 48 bits", s)
+	}
+	copy(m[:], hw)
+	return m, nil
+}
+
+// MustMAC is ParseMAC that panics on error; for tests and literals.
+func MustMAC(s string) MAC {
+	m, err := ParseMAC(s)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (m MAC) String() string {
+	return net.HardwareAddr(m[:]).String()
+}
+
+// IsBroadcast reports whether m is ff:ff:ff:ff:ff:ff.
+func (m MAC) IsBroadcast() bool {
+	return m == MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+}
+
+// IsMulticast reports whether the group bit is set.
+func (m MAC) IsMulticast() bool { return m[0]&1 == 1 }
+
+// Ethernet is the 14-byte Ethernet II header.
+type Ethernet struct {
+	DstMAC    MAC
+	SrcMAC    MAC
+	EtherType EtherType
+	payload   []byte
+}
+
+// LayerType implements Layer.
+func (e *Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// DecodeFromBytes implements Layer.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < 14 {
+		return ErrTooShort
+	}
+	copy(e.DstMAC[:], data[0:6])
+	copy(e.SrcMAC[:], data[6:12])
+	e.EtherType = EtherType(binary.BigEndian.Uint16(data[12:14]))
+	e.payload = data[14:]
+	return nil
+}
+
+// NextLayerType implements Layer.
+func (e *Ethernet) NextLayerType() LayerType { return e.EtherType.layerType() }
+
+func (t EtherType) layerType() LayerType {
+	switch t {
+	case EtherTypeIPv4:
+		return LayerTypeIPv4
+	case EtherTypeIPv6:
+		return LayerTypeIPv6
+	case EtherTypeARP:
+		return LayerTypeARP
+	case EtherTypeDot1Q, EtherTypeQinQ:
+		return LayerTypeDot1Q
+	case EtherTypeMPLSUnicast:
+		return LayerTypeMPLS
+	case EtherTypeINT:
+		return LayerTypeINT
+	default:
+		return LayerTypePayload
+	}
+}
+
+// LayerPayload implements Layer.
+func (e *Ethernet) LayerPayload() []byte { return e.payload }
+
+// SerializeTo implements SerializableLayer.
+func (e *Ethernet) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	h := b.PrependBytes(14)
+	copy(h[0:6], e.DstMAC[:])
+	copy(h[6:12], e.SrcMAC[:])
+	binary.BigEndian.PutUint16(h[12:14], uint16(e.EtherType))
+	return nil
+}
+
+// Dot1Q is an 802.1Q VLAN tag. Stacked tags (QinQ, outer EtherType 0x88A8)
+// decode as consecutive Dot1Q layers.
+type Dot1Q struct {
+	Priority     uint8 // PCP, 3 bits
+	DropEligible bool  // DEI
+	VLAN         uint16
+	EtherType    EtherType // type of what the tag encapsulates
+	payload      []byte
+}
+
+// LayerType implements Layer.
+func (d *Dot1Q) LayerType() LayerType { return LayerTypeDot1Q }
+
+// DecodeFromBytes implements Layer.
+func (d *Dot1Q) DecodeFromBytes(data []byte) error {
+	if len(data) < 4 {
+		return ErrTooShort
+	}
+	tci := binary.BigEndian.Uint16(data[0:2])
+	d.Priority = uint8(tci >> 13)
+	d.DropEligible = tci&0x1000 != 0
+	d.VLAN = tci & 0x0fff
+	d.EtherType = EtherType(binary.BigEndian.Uint16(data[2:4]))
+	d.payload = data[4:]
+	return nil
+}
+
+// NextLayerType implements Layer.
+func (d *Dot1Q) NextLayerType() LayerType { return d.EtherType.layerType() }
+
+// LayerPayload implements Layer.
+func (d *Dot1Q) LayerPayload() []byte { return d.payload }
+
+// SerializeTo implements SerializableLayer. It writes only the 4-byte tag
+// body (TCI + inner EtherType); the enclosing layer's EtherType must be
+// set to Dot1Q or QinQ by the caller.
+func (d *Dot1Q) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	if d.VLAN > 0x0fff {
+		return fmt.Errorf("%w: VLAN ID %d out of range", ErrBadHeader, d.VLAN)
+	}
+	h := b.PrependBytes(4)
+	tci := uint16(d.Priority)<<13 | d.VLAN
+	if d.DropEligible {
+		tci |= 0x1000
+	}
+	binary.BigEndian.PutUint16(h[0:2], tci)
+	binary.BigEndian.PutUint16(h[2:4], uint16(d.EtherType))
+	return nil
+}
+
+// MPLS is a single MPLS label stack entry.
+type MPLS struct {
+	Label       uint32 // 20 bits
+	TC          uint8  // traffic class, 3 bits
+	BottomStack bool
+	TTL         uint8
+	payload     []byte
+}
+
+// LayerType implements Layer.
+func (m *MPLS) LayerType() LayerType { return LayerTypeMPLS }
+
+// DecodeFromBytes implements Layer.
+func (m *MPLS) DecodeFromBytes(data []byte) error {
+	if len(data) < 4 {
+		return ErrTooShort
+	}
+	v := binary.BigEndian.Uint32(data[0:4])
+	m.Label = v >> 12
+	m.TC = uint8(v>>9) & 0x7
+	m.BottomStack = v&0x100 != 0
+	m.TTL = uint8(v)
+	m.payload = data[4:]
+	return nil
+}
+
+// NextLayerType implements Layer. After the bottom of stack the payload's
+// first nibble discriminates IPv4 from IPv6, per common practice.
+func (m *MPLS) NextLayerType() LayerType {
+	if !m.BottomStack {
+		return LayerTypeMPLS
+	}
+	if len(m.payload) > 0 {
+		switch m.payload[0] >> 4 {
+		case 4:
+			return LayerTypeIPv4
+		case 6:
+			return LayerTypeIPv6
+		}
+	}
+	return LayerTypePayload
+}
+
+// LayerPayload implements Layer.
+func (m *MPLS) LayerPayload() []byte { return m.payload }
+
+// SerializeTo implements SerializableLayer.
+func (m *MPLS) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	if m.Label >= 1<<20 {
+		return fmt.Errorf("%w: MPLS label %d out of range", ErrBadHeader, m.Label)
+	}
+	h := b.PrependBytes(4)
+	v := m.Label<<12 | uint32(m.TC&0x7)<<9 | uint32(m.TTL)
+	if m.BottomStack {
+		v |= 0x100
+	}
+	binary.BigEndian.PutUint32(h, v)
+	return nil
+}
+
+// ARP is an IPv4-over-Ethernet ARP message.
+type ARP struct {
+	Operation uint16 // 1 request, 2 reply
+	SenderMAC MAC
+	SenderIP  netip.Addr
+	TargetMAC MAC
+	TargetIP  netip.Addr
+	payload   []byte
+}
+
+// ARP operations.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// LayerType implements Layer.
+func (a *ARP) LayerType() LayerType { return LayerTypeARP }
+
+// DecodeFromBytes implements Layer.
+func (a *ARP) DecodeFromBytes(data []byte) error {
+	if len(data) < 28 {
+		return ErrTooShort
+	}
+	if binary.BigEndian.Uint16(data[0:2]) != 1 || // Ethernet
+		EtherType(binary.BigEndian.Uint16(data[2:4])) != EtherTypeIPv4 ||
+		data[4] != 6 || data[5] != 4 {
+		return fmt.Errorf("%w: unsupported ARP hardware/protocol", ErrBadHeader)
+	}
+	a.Operation = binary.BigEndian.Uint16(data[6:8])
+	copy(a.SenderMAC[:], data[8:14])
+	a.SenderIP = netip.AddrFrom4([4]byte(data[14:18]))
+	copy(a.TargetMAC[:], data[18:24])
+	a.TargetIP = netip.AddrFrom4([4]byte(data[24:28]))
+	a.payload = data[28:]
+	return nil
+}
+
+// NextLayerType implements Layer.
+func (a *ARP) NextLayerType() LayerType { return LayerTypePayload }
+
+// LayerPayload implements Layer.
+func (a *ARP) LayerPayload() []byte { return a.payload }
+
+// SerializeTo implements SerializableLayer.
+func (a *ARP) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	if !a.SenderIP.Is4() || !a.TargetIP.Is4() {
+		return fmt.Errorf("%w: ARP requires IPv4 addresses", ErrBadHeader)
+	}
+	h := b.PrependBytes(28)
+	binary.BigEndian.PutUint16(h[0:2], 1)
+	binary.BigEndian.PutUint16(h[2:4], uint16(EtherTypeIPv4))
+	h[4], h[5] = 6, 4
+	binary.BigEndian.PutUint16(h[6:8], a.Operation)
+	copy(h[8:14], a.SenderMAC[:])
+	s4 := a.SenderIP.As4()
+	copy(h[14:18], s4[:])
+	copy(h[18:24], a.TargetMAC[:])
+	t4 := a.TargetIP.As4()
+	copy(h[24:28], t4[:])
+	return nil
+}

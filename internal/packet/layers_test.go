@@ -1,0 +1,540 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"testing"
+)
+
+var (
+	macA = MustMAC("02:00:00:00:00:0a")
+	macB = MustMAC("02:00:00:00:00:0b")
+	ip1  = netip.MustParseAddr("10.0.0.1")
+	ip2  = netip.MustParseAddr("192.168.1.2")
+	ip61 = netip.MustParseAddr("2001:db8::1")
+	ip62 = netip.MustParseAddr("2001:db8::2")
+)
+
+func serialize(t *testing.T, opts SerializeOptions, layers ...SerializableLayer) []byte {
+	t.Helper()
+	buf := NewSerializeBuffer()
+	if err := SerializeLayers(buf, opts, layers...); err != nil {
+		t.Fatalf("SerializeLayers: %v", err)
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out
+}
+
+var fixOpts = SerializeOptions{FixLengths: true, ComputeChecksums: true}
+
+func TestEthernetRoundTrip(t *testing.T) {
+	pl := Payload([]byte("hello"))
+	data := serialize(t, fixOpts, &Ethernet{SrcMAC: macA, DstMAC: macB, EtherType: EtherTypeIPv4}, &pl)
+	var eth Ethernet
+	if err := eth.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if eth.SrcMAC != macA || eth.DstMAC != macB {
+		t.Errorf("MACs = %v/%v", eth.SrcMAC, eth.DstMAC)
+	}
+	if eth.EtherType != EtherTypeIPv4 {
+		t.Errorf("EtherType = %#x", eth.EtherType)
+	}
+	if string(eth.LayerPayload()) != "hello" {
+		t.Errorf("payload = %q", eth.LayerPayload())
+	}
+	if eth.NextLayerType() != LayerTypeIPv4 {
+		t.Errorf("NextLayerType = %v", eth.NextLayerType())
+	}
+}
+
+func TestEthernetTooShort(t *testing.T) {
+	var eth Ethernet
+	if err := eth.DecodeFromBytes(make([]byte, 13)); !errors.Is(err, ErrTooShort) {
+		t.Errorf("err = %v, want ErrTooShort", err)
+	}
+}
+
+func TestMACHelpers(t *testing.T) {
+	bc := MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	if !bc.IsBroadcast() || !bc.IsMulticast() {
+		t.Error("broadcast MAC not recognized")
+	}
+	if macA.IsBroadcast() || macA.IsMulticast() {
+		t.Error("unicast MAC misclassified")
+	}
+	mc := MAC{0x01, 0x00, 0x5e, 0, 0, 1}
+	if !mc.IsMulticast() || mc.IsBroadcast() {
+		t.Error("multicast MAC misclassified")
+	}
+	if macA.String() != "02:00:00:00:00:0a" {
+		t.Errorf("String = %q", macA.String())
+	}
+	if _, err := ParseMAC("not-a-mac"); err == nil {
+		t.Error("ParseMAC accepted garbage")
+	}
+	if _, err := ParseMAC("02:00:00:00:00:00:00:01"); err == nil {
+		t.Error("ParseMAC accepted 64-bit EUI")
+	}
+}
+
+func TestDot1QRoundTrip(t *testing.T) {
+	pl := Payload([]byte{1, 2, 3})
+	data := serialize(t, fixOpts,
+		&Ethernet{SrcMAC: macA, DstMAC: macB, EtherType: EtherTypeDot1Q},
+		&Dot1Q{Priority: 5, DropEligible: true, VLAN: 100, EtherType: EtherTypeIPv4},
+		&pl)
+	var eth Ethernet
+	var tag Dot1Q
+	if err := eth.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := tag.DecodeFromBytes(eth.LayerPayload()); err != nil {
+		t.Fatal(err)
+	}
+	if tag.VLAN != 100 || tag.Priority != 5 || !tag.DropEligible {
+		t.Errorf("tag = %+v", tag)
+	}
+	if tag.NextLayerType() != LayerTypeIPv4 {
+		t.Errorf("NextLayerType = %v", tag.NextLayerType())
+	}
+}
+
+func TestDot1QVLANRange(t *testing.T) {
+	buf := NewSerializeBuffer()
+	err := (&Dot1Q{VLAN: 5000}).SerializeTo(buf, fixOpts)
+	if !errors.Is(err, ErrBadHeader) {
+		t.Errorf("err = %v, want ErrBadHeader", err)
+	}
+}
+
+func TestQinQStack(t *testing.T) {
+	data := MustBuild(Spec{
+		SrcMAC: macA, DstMAC: macB,
+		VLANs: []uint16{200, 30},
+		SrcIP: ip1, DstIP: ip2,
+		SrcPort: 1000, DstPort: 2000,
+	})
+	pkt := NewPacket(data, LayerTypeEthernet)
+	if pkt.ErrorLayer() != nil {
+		t.Fatal(pkt.ErrorLayer())
+	}
+	var vlans []uint16
+	for _, l := range pkt.Layers() {
+		if d, ok := l.(*Dot1Q); ok {
+			vlans = append(vlans, d.VLAN)
+		}
+	}
+	if len(vlans) != 2 || vlans[0] != 200 || vlans[1] != 30 {
+		t.Errorf("vlans = %v, want [200 30]", vlans)
+	}
+	eth := pkt.Layer(LayerTypeEthernet).(*Ethernet)
+	if eth.EtherType != EtherTypeQinQ {
+		t.Errorf("outer EtherType = %#x, want QinQ", eth.EtherType)
+	}
+	if pkt.Layer(LayerTypeUDP) == nil {
+		t.Error("UDP not reached through QinQ stack")
+	}
+}
+
+func TestMPLSRoundTrip(t *testing.T) {
+	ip := &IPv4{TTL: 64, Protocol: IPProtocolUDP, SrcIP: ip1, DstIP: ip2}
+	udp := &UDP{SrcPort: 1, DstPort: 2}
+	if err := udp.SetNetworkLayerForChecksum(ip1, ip2); err != nil {
+		t.Fatal(err)
+	}
+	data := serialize(t, fixOpts,
+		&Ethernet{SrcMAC: macA, DstMAC: macB, EtherType: EtherTypeMPLSUnicast},
+		&MPLS{Label: 12345, TC: 3, BottomStack: true, TTL: 60},
+		ip, udp)
+	pkt := NewPacket(data, LayerTypeEthernet)
+	if pkt.ErrorLayer() != nil {
+		t.Fatal(pkt.ErrorLayer())
+	}
+	m := pkt.Layer(LayerTypeMPLS)
+	if m == nil {
+		t.Fatal("no MPLS layer")
+	}
+	mp := m.(*MPLS)
+	if mp.Label != 12345 || mp.TC != 3 || !mp.BottomStack || mp.TTL != 60 {
+		t.Errorf("mpls = %+v", mp)
+	}
+	if pkt.Layer(LayerTypeIPv4) == nil {
+		t.Error("IPv4 after bottom-of-stack not decoded")
+	}
+}
+
+func TestMPLSStacked(t *testing.T) {
+	pl := Payload(nil)
+	data := serialize(t, fixOpts,
+		&MPLS{Label: 1, BottomStack: false, TTL: 64},
+		&MPLS{Label: 2, BottomStack: true, TTL: 64},
+		&pl)
+	var outer MPLS
+	if err := outer.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if outer.NextLayerType() != LayerTypeMPLS {
+		t.Errorf("NextLayerType = %v, want MPLS", outer.NextLayerType())
+	}
+}
+
+func TestMPLSLabelRange(t *testing.T) {
+	buf := NewSerializeBuffer()
+	err := (&MPLS{Label: 1 << 20}).SerializeTo(buf, fixOpts)
+	if !errors.Is(err, ErrBadHeader) {
+		t.Errorf("err = %v, want ErrBadHeader", err)
+	}
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	a := &ARP{
+		Operation: ARPRequest,
+		SenderMAC: macA, SenderIP: ip1,
+		TargetMAC: MAC{}, TargetIP: ip2,
+	}
+	data := serialize(t, fixOpts, a)
+	var got ARP
+	if err := got.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Operation != ARPRequest || got.SenderIP != ip1 || got.TargetIP != ip2 || got.SenderMAC != macA {
+		t.Errorf("arp = %+v", got)
+	}
+}
+
+func TestARPRejectsIPv6(t *testing.T) {
+	buf := NewSerializeBuffer()
+	err := (&ARP{SenderIP: ip61, TargetIP: ip62}).SerializeTo(buf, fixOpts)
+	if !errors.Is(err, ErrBadHeader) {
+		t.Errorf("err = %v, want ErrBadHeader", err)
+	}
+}
+
+func TestIPv4RoundTripAndChecksum(t *testing.T) {
+	ip := &IPv4{
+		TOS: 0x10, ID: 777, DontFrag: true, TTL: 33,
+		Protocol: IPProtocolUDP, SrcIP: ip1, DstIP: ip2,
+	}
+	udp := &UDP{SrcPort: 5353, DstPort: 53}
+	if err := udp.SetNetworkLayerForChecksum(ip1, ip2); err != nil {
+		t.Fatal(err)
+	}
+	pl := Payload(bytes.Repeat([]byte{0xab}, 32))
+	data := serialize(t, fixOpts, ip, udp, &pl)
+	var got IPv4
+	if err := got.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcIP != ip1 || got.DstIP != ip2 || got.TTL != 33 || !got.DontFrag || got.ID != 777 || got.TOS != 0x10 {
+		t.Errorf("ip = %+v", got)
+	}
+	if int(got.Length) != len(data) {
+		t.Errorf("Length = %d, want %d", got.Length, len(data))
+	}
+	if !VerifyIPv4Checksum(data) {
+		t.Error("header checksum does not verify")
+	}
+	data[8] ^= 1 // TTL changed: checksum must now fail
+	if VerifyIPv4Checksum(data) {
+		t.Error("checksum verified after corruption")
+	}
+}
+
+func TestIPv4Malformed(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"short", make([]byte, 10), ErrTooShort},
+		{"version6", func() []byte { b := make([]byte, 20); b[0] = 0x65; return b }(), ErrBadHeader},
+		{"ihl-too-small", func() []byte { b := make([]byte, 20); b[0] = 0x43; return b }(), ErrBadHeader},
+		{"total-less-than-ihl", func() []byte {
+			b := make([]byte, 20)
+			b[0] = 0x45
+			b[3] = 10
+			return b
+		}(), ErrBadHeader},
+		{"truncated", func() []byte {
+			b := make([]byte, 20)
+			b[0] = 0x45
+			b[2], b[3] = 0, 100
+			return b
+		}(), ErrTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var ip IPv4
+			if err := ip.DecodeFromBytes(tc.data); !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestIPv4Fragment(t *testing.T) {
+	ip := &IPv4{TTL: 64, Protocol: IPProtocolUDP, SrcIP: ip1, DstIP: ip2, FragOffset: 100}
+	pl := Payload([]byte{1, 2, 3, 4})
+	data := serialize(t, fixOpts, ip, &pl)
+	var got IPv4
+	if err := got.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.FragOffset != 100 {
+		t.Errorf("FragOffset = %d", got.FragOffset)
+	}
+	if got.NextLayerType() != LayerTypePayload {
+		t.Error("non-first fragment should be opaque")
+	}
+}
+
+func TestIPv6RoundTrip(t *testing.T) {
+	ip := &IPv6{TrafficClass: 0xbb, FlowLabel: 0x12345, NextHeader: IPProtocolTCP, HopLimit: 17, SrcIP: ip61, DstIP: ip62}
+	tcp := &TCP{SrcPort: 443, DstPort: 50000, Seq: 9, Window: 100}
+	if err := tcp.SetNetworkLayerForChecksum(ip61, ip62); err != nil {
+		t.Fatal(err)
+	}
+	data := serialize(t, fixOpts, ip, tcp)
+	var got IPv6
+	if err := got.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcIP != ip61 || got.DstIP != ip62 || got.HopLimit != 17 ||
+		got.TrafficClass != 0xbb || got.FlowLabel != 0x12345 {
+		t.Errorf("ip6 = %+v", got)
+	}
+	if got.NextLayerType() != LayerTypeTCP {
+		t.Errorf("NextLayerType = %v", got.NextLayerType())
+	}
+	var gotTCP TCP
+	if err := gotTCP.DecodeFromBytes(got.LayerPayload()); err != nil {
+		t.Fatal(err)
+	}
+	// Verify the v6 pseudo-header checksum.
+	s, d := ip61.As16(), ip62.As16()
+	if TransportChecksum(got.LayerPayload(), s[:], d[:], IPProtocolTCP) != 0 {
+		t.Error("TCP-over-IPv6 checksum does not verify")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	tcp := &TCP{
+		SrcPort: 12345, DstPort: 80,
+		Seq: 0xdeadbeef, Ack: 0xfeedface,
+		SYN: true, ACK: true, ECE: true,
+		Window: 4096, Urgent: 7,
+		Options: []byte{2, 4, 5, 0xb4, 1, 1, 1, 0}, // MSS + NOPs + EOL
+	}
+	if err := tcp.SetNetworkLayerForChecksum(ip1, ip2); err != nil {
+		t.Fatal(err)
+	}
+	pl := Payload([]byte("GET /"))
+	data := serialize(t, fixOpts, tcp, &pl)
+	var got TCP
+	if err := got.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != 12345 || got.DstPort != 80 || got.Seq != 0xdeadbeef || got.Ack != 0xfeedface {
+		t.Errorf("tcp = %+v", got)
+	}
+	if !got.SYN || !got.ACK || !got.ECE || got.FIN || got.RST || got.PSH || got.URG || got.CWR {
+		t.Errorf("flags wrong: %+v", got)
+	}
+	if !bytes.Equal(got.Options, tcp.Options) {
+		t.Errorf("options = %x", got.Options)
+	}
+	if string(got.LayerPayload()) != "GET /" {
+		t.Errorf("payload = %q", got.LayerPayload())
+	}
+	s4, d4 := ip1.As4(), ip2.As4()
+	if TransportChecksum(data, s4[:], d4[:], IPProtocolTCP) != 0 {
+		t.Error("TCP checksum does not verify")
+	}
+}
+
+func TestTCPChecksumRequiresNetworkLayer(t *testing.T) {
+	buf := NewSerializeBuffer()
+	err := (&TCP{}).SerializeTo(buf, fixOpts)
+	if !errors.Is(err, ErrBadHeader) {
+		t.Errorf("err = %v, want ErrBadHeader", err)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	udp := &UDP{SrcPort: 500, DstPort: 4500}
+	if err := udp.SetNetworkLayerForChecksum(ip1, ip2); err != nil {
+		t.Fatal(err)
+	}
+	pl := Payload([]byte{9, 9, 9})
+	data := serialize(t, fixOpts, udp, &pl)
+	var got UDP
+	if err := got.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != 500 || got.DstPort != 4500 || got.Length != 11 {
+		t.Errorf("udp = %+v", got)
+	}
+	s4, d4 := ip1.As4(), ip2.As4()
+	if TransportChecksum(data, s4[:], d4[:], IPProtocolUDP) != 0 {
+		t.Error("UDP checksum does not verify")
+	}
+}
+
+func TestUDPNextLayer(t *testing.T) {
+	u := &UDP{DstPort: PortDNS}
+	if u.NextLayerType() != LayerTypeDNS {
+		t.Error("dst 53 should be DNS")
+	}
+	u = &UDP{SrcPort: PortDNS}
+	if u.NextLayerType() != LayerTypeDNS {
+		t.Error("src 53 should be DNS")
+	}
+	u = &UDP{DstPort: PortVXLAN}
+	if u.NextLayerType() != LayerTypeVXLAN {
+		t.Error("dst 4789 should be VXLAN")
+	}
+	u = &UDP{DstPort: 9999}
+	if u.NextLayerType() != LayerTypePayload {
+		t.Error("unknown port should be payload")
+	}
+}
+
+func TestUDPBadLength(t *testing.T) {
+	data := []byte{0, 1, 0, 2, 0, 4, 0, 0} // length 4 < 8
+	var u UDP
+	if err := u.DecodeFromBytes(data); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("err = %v, want ErrBadHeader", err)
+	}
+}
+
+func TestICMPv4RoundTrip(t *testing.T) {
+	ic := &ICMPv4{Type: ICMPv4TypeEchoRequest, ID: 42, Seq: 7}
+	pl := Payload([]byte("ping"))
+	data := serialize(t, fixOpts, ic, &pl)
+	var got ICMPv4
+	if err := got.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != ICMPv4TypeEchoRequest || got.ID != 42 || got.Seq != 7 {
+		t.Errorf("icmp = %+v", got)
+	}
+	if Checksum(data) != 0 {
+		t.Error("ICMP checksum does not verify")
+	}
+}
+
+func TestGRERoundTrip(t *testing.T) {
+	inner := &IPv4{TTL: 9, Protocol: IPProtocolICMPv4, SrcIP: ip1, DstIP: ip2}
+	icmp := &ICMPv4{Type: ICMPv4TypeEchoRequest}
+	gre := &GRE{KeyPresent: true, Key: 0xcafe, SeqPresent: true, Seq: 3, Protocol: EtherTypeIPv4}
+	data := serialize(t, fixOpts, gre, inner, icmp)
+	var got GRE
+	if err := got.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if !got.KeyPresent || got.Key != 0xcafe || !got.SeqPresent || got.Seq != 3 {
+		t.Errorf("gre = %+v", got)
+	}
+	if got.NextLayerType() != LayerTypeIPv4 {
+		t.Errorf("NextLayerType = %v", got.NextLayerType())
+	}
+	if got.HeaderLength() != 12 {
+		t.Errorf("HeaderLength = %d, want 12", got.HeaderLength())
+	}
+}
+
+func TestGREChecksum(t *testing.T) {
+	pl := Payload([]byte{1, 2, 3, 4})
+	gre := &GRE{ChecksumPresent: true, Protocol: EtherTypeIPv4}
+	data := serialize(t, fixOpts, gre, &pl)
+	if Checksum(data) != 0 {
+		t.Error("GRE checksum does not verify")
+	}
+}
+
+func TestGRETransparentEthernet(t *testing.T) {
+	g := &GRE{Protocol: EtherTypeTransparentEthernet}
+	if g.NextLayerType() != LayerTypeEthernet {
+		t.Error("TEB should decode to Ethernet")
+	}
+}
+
+func TestVXLANRoundTrip(t *testing.T) {
+	innerEth := &Ethernet{SrcMAC: macB, DstMAC: macA, EtherType: EtherTypeIPv4}
+	innerIP := &IPv4{TTL: 1, Protocol: IPProtocolUDP, SrcIP: ip2, DstIP: ip1}
+	innerUDP := &UDP{SrcPort: 7, DstPort: 8}
+	if err := innerUDP.SetNetworkLayerForChecksum(ip2, ip1); err != nil {
+		t.Fatal(err)
+	}
+	vx := &VXLAN{VNI: 0x123456}
+	data := serialize(t, fixOpts, vx, innerEth, innerIP, innerUDP)
+	var got VXLAN
+	if err := got.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.VNI != 0x123456 {
+		t.Errorf("VNI = %#x", got.VNI)
+	}
+	var eth Ethernet
+	if err := eth.DecodeFromBytes(got.LayerPayload()); err != nil {
+		t.Fatal(err)
+	}
+	if eth.SrcMAC != macB {
+		t.Error("inner Ethernet corrupted")
+	}
+}
+
+func TestVXLANBadVNIAndFlag(t *testing.T) {
+	buf := NewSerializeBuffer()
+	if err := (&VXLAN{VNI: 1 << 24}).SerializeTo(buf, fixOpts); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("oversized VNI: err = %v", err)
+	}
+	var v VXLAN
+	if err := v.DecodeFromBytes(make([]byte, 8)); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("missing I flag: err = %v", err)
+	}
+}
+
+func TestINTRoundTrip(t *testing.T) {
+	n := &INT{
+		OriginalEtherType: EtherTypeIPv4,
+		Hops: []INTHop{
+			{DeviceID: 1, IngressPort: 0, EgressPort: 1, TimestampNs: 1111},
+			{DeviceID: 2, IngressPort: 3, EgressPort: 0, TimestampNs: 2222},
+		},
+	}
+	ip := &IPv4{TTL: 64, Protocol: IPProtocolUDP, SrcIP: ip1, DstIP: ip2}
+	udp := &UDP{SrcPort: 1, DstPort: 9}
+	if err := udp.SetNetworkLayerForChecksum(ip1, ip2); err != nil {
+		t.Fatal(err)
+	}
+	data := serialize(t, fixOpts,
+		&Ethernet{SrcMAC: macA, DstMAC: macB, EtherType: EtherTypeINT},
+		n, ip, udp)
+	pkt := NewPacket(data, LayerTypeEthernet)
+	if pkt.ErrorLayer() != nil {
+		t.Fatal(pkt.ErrorLayer())
+	}
+	got := pkt.Layer(LayerTypeINT)
+	if got == nil {
+		t.Fatal("no INT layer")
+	}
+	in := got.(*INT)
+	if len(in.Hops) != 2 || in.Hops[0].DeviceID != 1 || in.Hops[1].TimestampNs != 2222 {
+		t.Errorf("hops = %+v", in.Hops)
+	}
+	if pkt.Layer(LayerTypeUDP) == nil {
+		t.Error("UDP under INT shim not decoded")
+	}
+}
+
+func TestINTMaxHops(t *testing.T) {
+	n := &INT{OriginalEtherType: EtherTypeIPv4, Hops: make([]INTHop, INTMaxHops+1)}
+	buf := NewSerializeBuffer()
+	if err := n.SerializeTo(buf, fixOpts); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("err = %v, want ErrBadHeader", err)
+	}
+}

@@ -1,0 +1,264 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EtherTypeTransparentEthernet is the GRE protocol value for bridged
+// Ethernet frames (Transparent Ethernet Bridging).
+const EtherTypeTransparentEthernet EtherType = 0x6558
+
+// GRE is the Generic Routing Encapsulation header (RFC 2784/2890 subset:
+// optional checksum, key and sequence number).
+type GRE struct {
+	ChecksumPresent bool
+	KeyPresent      bool
+	SeqPresent      bool
+	Protocol        EtherType
+	Checksum        uint16
+	Key             uint32
+	Seq             uint32
+	payload         []byte
+}
+
+// LayerType implements Layer.
+func (g *GRE) LayerType() LayerType { return LayerTypeGRE }
+
+// DecodeFromBytes implements Layer.
+func (g *GRE) DecodeFromBytes(data []byte) error {
+	if len(data) < 4 {
+		return ErrTooShort
+	}
+	flags := binary.BigEndian.Uint16(data[0:2])
+	g.ChecksumPresent = flags&0x8000 != 0
+	g.KeyPresent = flags&0x2000 != 0
+	g.SeqPresent = flags&0x1000 != 0
+	if flags&0x0007 != 0 {
+		return fmt.Errorf("%w: GRE version %d", ErrBadHeader, flags&0x7)
+	}
+	g.Protocol = EtherType(binary.BigEndian.Uint16(data[2:4]))
+	off := 4
+	if g.ChecksumPresent {
+		if len(data) < off+4 {
+			return ErrTooShort
+		}
+		g.Checksum = binary.BigEndian.Uint16(data[off:])
+		off += 4 // checksum + reserved
+	}
+	if g.KeyPresent {
+		if len(data) < off+4 {
+			return ErrTooShort
+		}
+		g.Key = binary.BigEndian.Uint32(data[off:])
+		off += 4
+	}
+	if g.SeqPresent {
+		if len(data) < off+4 {
+			return ErrTooShort
+		}
+		g.Seq = binary.BigEndian.Uint32(data[off:])
+		off += 4
+	}
+	g.payload = data[off:]
+	return nil
+}
+
+// NextLayerType implements Layer.
+func (g *GRE) NextLayerType() LayerType {
+	if g.Protocol == EtherTypeTransparentEthernet {
+		return LayerTypeEthernet
+	}
+	return g.Protocol.layerType()
+}
+
+// LayerPayload implements Layer.
+func (g *GRE) LayerPayload() []byte { return g.payload }
+
+// HeaderLength returns the encoded header size given the flag set.
+func (g *GRE) HeaderLength() int {
+	n := 4
+	if g.ChecksumPresent {
+		n += 4
+	}
+	if g.KeyPresent {
+		n += 4
+	}
+	if g.SeqPresent {
+		n += 4
+	}
+	return n
+}
+
+// SerializeTo implements SerializableLayer.
+func (g *GRE) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	h := b.PrependBytes(g.HeaderLength())
+	var flags uint16
+	if g.ChecksumPresent {
+		flags |= 0x8000
+	}
+	if g.KeyPresent {
+		flags |= 0x2000
+	}
+	if g.SeqPresent {
+		flags |= 0x1000
+	}
+	binary.BigEndian.PutUint16(h[0:2], flags)
+	binary.BigEndian.PutUint16(h[2:4], uint16(g.Protocol))
+	off := 4
+	if g.ChecksumPresent {
+		binary.BigEndian.PutUint32(h[off:], 0)
+		off += 4
+	}
+	if g.KeyPresent {
+		binary.BigEndian.PutUint32(h[off:], g.Key)
+		off += 4
+	}
+	if g.SeqPresent {
+		binary.BigEndian.PutUint32(h[off:], g.Seq)
+		off += 4
+	}
+	if g.ChecksumPresent && opts.ComputeChecksums {
+		g.Checksum = Checksum(b.Bytes())
+		binary.BigEndian.PutUint16(h[4:6], g.Checksum)
+	}
+	return nil
+}
+
+// VXLAN is the VXLAN header (RFC 7348), carried over UDP port 4789.
+type VXLAN struct {
+	VNI     uint32 // 24 bits
+	payload []byte
+}
+
+// LayerType implements Layer.
+func (v *VXLAN) LayerType() LayerType { return LayerTypeVXLAN }
+
+// DecodeFromBytes implements Layer.
+func (v *VXLAN) DecodeFromBytes(data []byte) error {
+	if len(data) < 8 {
+		return ErrTooShort
+	}
+	if data[0]&0x08 == 0 {
+		return fmt.Errorf("%w: VXLAN I flag not set", ErrBadHeader)
+	}
+	v.VNI = binary.BigEndian.Uint32(data[4:8]) >> 8
+	v.payload = data[8:]
+	return nil
+}
+
+// NextLayerType implements Layer.
+func (v *VXLAN) NextLayerType() LayerType { return LayerTypeEthernet }
+
+// LayerPayload implements Layer.
+func (v *VXLAN) LayerPayload() []byte { return v.payload }
+
+// SerializeTo implements SerializableLayer.
+func (v *VXLAN) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	if v.VNI >= 1<<24 {
+		return fmt.Errorf("%w: VNI %d out of range", ErrBadHeader, v.VNI)
+	}
+	h := b.PrependBytes(8)
+	h[0] = 0x08
+	binary.BigEndian.PutUint32(h[4:8], v.VNI<<8)
+	return nil
+}
+
+// INT is the FlexSFP in-band telemetry shim, inserted between the Ethernet
+// header and the original payload with EtherType 0x88B6. Each on-path
+// FlexSFP appends one 16-byte hop record; the final hop or the collector
+// pops the shim by restoring OriginalEtherType.
+//
+// Layout:
+//
+//	byte 0      version(4) | reserved(4)
+//	byte 1      hop count
+//	bytes 2-3   original EtherType
+//	then hopCount × 16-byte records:
+//	  deviceID(4) ingressPort(2) egressPort(2) timestampNs(8)
+type INT struct {
+	Version           uint8
+	OriginalEtherType EtherType
+	Hops              []INTHop
+	payload           []byte
+}
+
+// INTHop is one telemetry record appended by a device on the path.
+type INTHop struct {
+	DeviceID    uint32
+	IngressPort uint16
+	EgressPort  uint16
+	TimestampNs uint64
+}
+
+// INTVersion is the current shim version.
+const INTVersion = 1
+
+// INTMaxHops bounds the shim so min-size processing stays line-rate.
+const INTMaxHops = 15
+
+// INTHopSize is the encoded size of one hop record.
+const INTHopSize = 16
+
+// LayerType implements Layer.
+func (n *INT) LayerType() LayerType { return LayerTypeINT }
+
+// DecodeFromBytes implements Layer.
+func (n *INT) DecodeFromBytes(data []byte) error {
+	if len(data) < 4 {
+		return ErrTooShort
+	}
+	n.Version = data[0] >> 4
+	if n.Version != INTVersion {
+		return fmt.Errorf("%w: INT version %d", ErrBadHeader, n.Version)
+	}
+	hops := int(data[1])
+	if hops > INTMaxHops {
+		return fmt.Errorf("%w: INT hop count %d > %d", ErrBadHeader, hops, INTMaxHops)
+	}
+	n.OriginalEtherType = EtherType(binary.BigEndian.Uint16(data[2:4]))
+	need := 4 + hops*INTHopSize
+	if len(data) < need {
+		return ErrTooShort
+	}
+	n.Hops = n.Hops[:0]
+	for i := 0; i < hops; i++ {
+		r := data[4+i*INTHopSize:]
+		n.Hops = append(n.Hops, INTHop{
+			DeviceID:    binary.BigEndian.Uint32(r[0:4]),
+			IngressPort: binary.BigEndian.Uint16(r[4:6]),
+			EgressPort:  binary.BigEndian.Uint16(r[6:8]),
+			TimestampNs: binary.BigEndian.Uint64(r[8:16]),
+		})
+	}
+	n.payload = data[need:]
+	return nil
+}
+
+// NextLayerType implements Layer.
+func (n *INT) NextLayerType() LayerType { return n.OriginalEtherType.layerType() }
+
+// LayerPayload implements Layer.
+func (n *INT) LayerPayload() []byte { return n.payload }
+
+// HeaderLength returns the encoded shim size.
+func (n *INT) HeaderLength() int { return 4 + len(n.Hops)*INTHopSize }
+
+// SerializeTo implements SerializableLayer.
+func (n *INT) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	if len(n.Hops) > INTMaxHops {
+		return fmt.Errorf("%w: INT hop count %d > %d", ErrBadHeader, len(n.Hops), INTMaxHops)
+	}
+	h := b.PrependBytes(n.HeaderLength())
+	h[0] = INTVersion << 4
+	h[1] = uint8(len(n.Hops))
+	binary.BigEndian.PutUint16(h[2:4], uint16(n.OriginalEtherType))
+	for i, hop := range n.Hops {
+		r := h[4+i*INTHopSize:]
+		binary.BigEndian.PutUint32(r[0:4], hop.DeviceID)
+		binary.BigEndian.PutUint16(r[4:6], hop.IngressPort)
+		binary.BigEndian.PutUint16(r[6:8], hop.EgressPort)
+		binary.BigEndian.PutUint64(r[8:16], hop.TimestampNs)
+	}
+	return nil
+}

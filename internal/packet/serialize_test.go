@@ -1,0 +1,181 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSerializeBufferPrependAppend(t *testing.T) {
+	b := NewSerializeBufferExpectedSize(4, 4)
+	copy(b.AppendBytes(3), "cde")
+	copy(b.PrependBytes(2), "ab")
+	if string(b.Bytes()) != "abcde" {
+		t.Errorf("Bytes = %q", b.Bytes())
+	}
+	if b.Len() != 5 {
+		t.Errorf("Len = %d", b.Len())
+	}
+}
+
+func TestSerializeBufferGrowsFront(t *testing.T) {
+	b := NewSerializeBufferExpectedSize(2, 2)
+	copy(b.PrependBytes(100), bytes.Repeat([]byte{7}, 100))
+	if b.Len() != 100 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	for _, c := range b.Bytes() {
+		if c != 7 {
+			t.Fatal("front growth corrupted data")
+		}
+	}
+}
+
+func TestSerializeBufferClear(t *testing.T) {
+	b := NewSerializeBuffer()
+	copy(b.AppendBytes(10), bytes.Repeat([]byte{1}, 10))
+	b.Clear()
+	if b.Len() != 0 {
+		t.Errorf("Len after Clear = %d", b.Len())
+	}
+	// Headroom restored: a prepend must not reallocate for typical headers.
+	b.PrependBytes(64)
+	if b.Len() != 64 {
+		t.Errorf("Len = %d", b.Len())
+	}
+}
+
+func TestSerializeBufferAppendZeroed(t *testing.T) {
+	b := NewSerializeBuffer()
+	s := b.AppendBytes(8)
+	for i := range s {
+		s[i] = 0xff
+	}
+	b.Clear()
+	s2 := b.AppendBytes(8)
+	for _, c := range s2 {
+		if c != 0 {
+			t.Fatal("AppendBytes returned dirty memory")
+		}
+	}
+}
+
+func TestBuilderPadTo(t *testing.T) {
+	data := MustBuild(Spec{
+		SrcMAC: macA, DstMAC: macB,
+		SrcIP: ip1, DstIP: ip2,
+		SrcPort: 1, DstPort: 2,
+		PadTo: 64,
+	})
+	if len(data) != 64 {
+		t.Errorf("frame = %d bytes, want 64", len(data))
+	}
+	pkt := NewPacket(data, LayerTypeEthernet)
+	if pkt.ErrorLayer() != nil {
+		t.Fatal(pkt.ErrorLayer())
+	}
+}
+
+func TestBuilderICMP(t *testing.T) {
+	data := MustBuild(Spec{
+		SrcMAC: macA, DstMAC: macB,
+		SrcIP: ip1, DstIP: ip2,
+		Proto: IPProtocolICMPv4, SrcPort: 3, DstPort: 4,
+	})
+	pkt := NewPacket(data, LayerTypeEthernet)
+	ic := pkt.Layer(LayerTypeICMPv4)
+	if ic == nil {
+		t.Fatal("no ICMP layer")
+	}
+	if ic.(*ICMPv4).ID != 3 || ic.(*ICMPv4).Seq != 4 {
+		t.Errorf("icmp = %+v", ic)
+	}
+}
+
+func TestBuilderRejectsMixedFamilies(t *testing.T) {
+	_, err := Build(Spec{SrcMAC: macA, DstMAC: macB, SrcIP: ip1, DstIP: ip62})
+	if err == nil {
+		t.Error("mixed families accepted")
+	}
+}
+
+func TestBuilderRejectsMissingIPs(t *testing.T) {
+	_, err := Build(Spec{SrcMAC: macA, DstMAC: macB})
+	if err == nil {
+		t.Error("missing IPs accepted")
+	}
+}
+
+// Property: every packet the builder produces decodes cleanly back to the
+// same 5-tuple, for arbitrary ports and both families.
+func TestBuildDecodeRoundTripProperty(t *testing.T) {
+	f := func(sp, dp uint16, useV6, useTCP bool, size uint8) bool {
+		spec := Spec{
+			SrcMAC: macA, DstMAC: macB,
+			SrcPort: sp, DstPort: dp,
+			Payload: bytes.Repeat([]byte{0x5a}, int(size)),
+		}
+		if useV6 {
+			spec.SrcIP, spec.DstIP = ip61, ip62
+		} else {
+			spec.SrcIP, spec.DstIP = ip1, ip2
+		}
+		if useTCP {
+			spec.Proto = IPProtocolTCP
+		}
+		data, err := Build(spec)
+		if err != nil {
+			return false
+		}
+		pkt := NewPacket(data, LayerTypeEthernet)
+		if pkt.ErrorLayer() != nil {
+			return false
+		}
+		if useTCP {
+			l := pkt.Layer(LayerTypeTCP)
+			if l == nil {
+				return false
+			}
+			tc := l.(*TCP)
+			return tc.SrcPort == sp && tc.DstPort == dp && len(tc.LayerPayload()) == int(size)
+		}
+		l := pkt.Layer(LayerTypeUDP)
+		if l == nil {
+			return false
+		}
+		u := l.(*UDP)
+		return u.SrcPort == sp && u.DstPort == dp && len(u.LayerPayload()) == int(size)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: serialized transport checksums always verify at the receiver.
+func TestChecksumAlwaysVerifiesProperty(t *testing.T) {
+	f := func(sp, dp uint16, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		data, err := Build(Spec{
+			SrcMAC: macA, DstMAC: macB, SrcIP: ip1, DstIP: ip2,
+			SrcPort: sp, DstPort: dp, Payload: payload,
+		})
+		if err != nil {
+			return false
+		}
+		var eth Ethernet
+		var ip IPv4
+		if eth.DecodeFromBytes(data) != nil || ip.DecodeFromBytes(eth.LayerPayload()) != nil {
+			return false
+		}
+		if !VerifyIPv4Checksum(eth.LayerPayload()) {
+			return false
+		}
+		s4, d4 := ip.SrcIP.As4(), ip.DstIP.As4()
+		return TransportChecksum(ip.LayerPayload(), s4[:], d4[:], IPProtocolUDP) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

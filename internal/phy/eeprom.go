@@ -1,0 +1,112 @@
+package phy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// EEPROM models the SFF-8472 A0h identification page every SFP exposes
+// over I²C: the management plane's first contact with a module. The
+// FlexSFP presents itself as a standard 10GBASE-SR part (so legacy
+// switches accept it — the §2.1 drop-in property) with its programmable
+// nature visible in the vendor fields.
+
+// EEPROMSize is the A0h page size.
+const EEPROMSize = 256
+
+// Identity is the decoded subset of A0h the tooling shows.
+type Identity struct {
+	VendorName string // 16 bytes, space padded
+	VendorPN   string // 16 bytes
+	VendorRev  string // 4 bytes
+	VendorSN   string // 16 bytes
+	DateCode   string // 8 bytes, YYMMDD
+	// Is10GBaseSR reflects the transceiver compliance byte.
+	Is10GBaseSR bool
+	// DDMSupported reflects the diagnostic-monitoring byte (92).
+	DDMSupported bool
+}
+
+// EEPROM errors.
+var (
+	ErrEEPROMSize     = errors.New("phy: EEPROM page must be 256 bytes")
+	ErrEEPROMChecksum = errors.New("phy: EEPROM checksum mismatch (CC_BASE/CC_EXT)")
+	ErrEEPROMIdent    = errors.New("phy: not an SFP identifier page")
+)
+
+// EncodeEEPROM builds a valid A0h page for the identity.
+func EncodeEEPROM(id Identity) []byte {
+	p := make([]byte, EEPROMSize)
+	p[0] = 0x03 // identifier: SFP/SFP+
+	p[1] = 0x04 // extended identifier: MOD_DEF 4 (serial ID)
+	p[2] = 0x07 // connector: LC
+	if id.Is10GBaseSR {
+		p[3] = 0x10 // 10GBASE-SR compliance bit
+	}
+	p[11] = 0x01 // encoding: 64B/66B
+	p[12] = 103  // nominal rate: 10.3 Gb/s in units of 100 Mb/s
+	p[14] = 0    // SMF km: 0
+	p[16] = 8    // OM2 length ×10 m: 80 m
+	p[17] = 30   // OM1... reuse: OM3 300 m in byte 19 per spec; keep simple
+	putPadded(p[20:36], id.VendorName)
+	// Vendor OUI: locally administered placeholder.
+	p[37], p[38], p[39] = 0x02, 0xf5, 0xf0
+	putPadded(p[40:56], id.VendorPN)
+	putPadded(p[56:60], id.VendorRev)
+	// CC_BASE over bytes 0..62.
+	p[63] = sum(p[0:63])
+	putPadded(p[68:84], id.VendorSN)
+	putPadded(p[84:92], id.DateCode)
+	if id.DDMSupported {
+		p[92] = 0x68 // DDM implemented, internally calibrated
+		p[93] = 0xf0 // optional alarm/warning flags implemented
+	}
+	p[94] = 0x01 // SFF-8472 compliance rev
+	// CC_EXT over bytes 64..94.
+	p[95] = sum(p[64:95])
+	return p
+}
+
+// DecodeEEPROM validates and decodes a page.
+func DecodeEEPROM(p []byte) (Identity, error) {
+	var id Identity
+	if len(p) != EEPROMSize {
+		return id, ErrEEPROMSize
+	}
+	if p[0] != 0x03 {
+		return id, fmt.Errorf("%w: identifier %#02x", ErrEEPROMIdent, p[0])
+	}
+	if sum(p[0:63]) != p[63] {
+		return id, fmt.Errorf("%w: CC_BASE", ErrEEPROMChecksum)
+	}
+	if sum(p[64:95]) != p[95] {
+		return id, fmt.Errorf("%w: CC_EXT", ErrEEPROMChecksum)
+	}
+	id.VendorName = strings.TrimRight(string(p[20:36]), " ")
+	id.VendorPN = strings.TrimRight(string(p[40:56]), " ")
+	id.VendorRev = strings.TrimRight(string(p[56:60]), " ")
+	id.VendorSN = strings.TrimRight(string(p[68:84]), " ")
+	id.DateCode = strings.TrimRight(string(p[84:92]), " ")
+	id.Is10GBaseSR = p[3]&0x10 != 0
+	id.DDMSupported = p[92]&0x40 != 0
+	return id, nil
+}
+
+func putPadded(dst []byte, s string) {
+	for i := range dst {
+		if i < len(s) {
+			dst[i] = s[i]
+		} else {
+			dst[i] = ' '
+		}
+	}
+}
+
+func sum(b []byte) byte {
+	var s byte
+	for _, c := range b {
+		s += c
+	}
+	return s
+}

@@ -1,0 +1,89 @@
+// Package power reproduces the §5 power measurement: "a custom in-house
+// testbed capable of measuring current drawn from a Thunderbolt-connected
+// NIC with a single 10 Gbps Ethernet port". The testbed model adds a NIC
+// baseline to the module-under-test's draw and samples it through a
+// current sensor with realistic quantization noise.
+package power
+
+import (
+	"math"
+
+	"flexsfp/internal/netsim"
+)
+
+// NICBaselineW is the Thunderbolt NIC with no module inserted: the
+// paper's 3.800 W baseline.
+const NICBaselineW = 3.800
+
+// SensorNoiseW is the 1-sigma measurement noise of the current sensor.
+const SensorNoiseW = 0.002
+
+// Testbed samples power measurements deterministically from the
+// simulation's random source.
+type Testbed struct {
+	sim *netsim.Simulator
+}
+
+// NewTestbed builds a measurement rig.
+func NewTestbed(sim *netsim.Simulator) *Testbed {
+	return &Testbed{sim: sim}
+}
+
+// Measurement is the averaged result of a sampling run.
+type Measurement struct {
+	MeanW   float64
+	StddevW float64
+	Samples int
+}
+
+// Measure samples the total draw (NIC baseline + module) n times and
+// returns the average, rounded to the milliwatt the way the paper
+// reports it.
+func (tb *Testbed) Measure(moduleW float64, n int) Measurement {
+	if n <= 0 {
+		n = 100
+	}
+	truth := NICBaselineW + moduleW
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		s := truth + tb.sim.Rand().NormFloat64()*SensorNoiseW
+		sum += s
+		sumSq += s * s
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Measurement{
+		MeanW:   math.Round(mean*1000) / 1000,
+		StddevW: math.Sqrt(variance),
+		Samples: n,
+	}
+}
+
+// Report is the full §5 experiment output.
+type Report struct {
+	NICOnly   Measurement // paper: 3.800 W
+	WithSFP   Measurement // paper: 4.693 W
+	WithFlex  Measurement // paper: 5.320 W
+	DeltaSFP  float64     // paper: ~0.9 W
+	DeltaFlex float64     // paper: ~1.5 W
+	// FlexOverSFP is the increase of FlexSFP over a plain SFP (~0.7 W).
+	FlexOverSFP float64
+}
+
+// Run performs the three-step procedure with the given module draws
+// measured under line-rate stress.
+func (tb *Testbed) Run(sfpW, flexW float64, samplesPerStep int) Report {
+	var r Report
+	r.NICOnly = tb.Measure(0, samplesPerStep)
+	r.WithSFP = tb.Measure(sfpW, samplesPerStep)
+	r.WithFlex = tb.Measure(flexW, samplesPerStep)
+	r.DeltaSFP = round3(r.WithSFP.MeanW - r.NICOnly.MeanW)
+	r.DeltaFlex = round3(r.WithFlex.MeanW - r.NICOnly.MeanW)
+	r.FlexOverSFP = round3(r.WithFlex.MeanW - r.WithSFP.MeanW)
+	return r
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }

@@ -1,0 +1,68 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"flexsfp/internal/netsim"
+)
+
+func TestMeasureUnbiased(t *testing.T) {
+	sim := netsim.New(42)
+	tb := NewTestbed(sim)
+	m := tb.Measure(0.893, 1000)
+	if math.Abs(m.MeanW-(NICBaselineW+0.893)) > 0.002 {
+		t.Errorf("mean = %.4f, want ≈%.4f", m.MeanW, NICBaselineW+0.893)
+	}
+	if m.StddevW > 3*SensorNoiseW || m.StddevW == 0 {
+		t.Errorf("stddev = %.4f", m.StddevW)
+	}
+	if m.Samples != 1000 {
+		t.Errorf("samples = %d", m.Samples)
+	}
+}
+
+func TestMeasureDefaultSamples(t *testing.T) {
+	sim := netsim.New(1)
+	tb := NewTestbed(sim)
+	if m := tb.Measure(1, 0); m.Samples != 100 {
+		t.Errorf("default samples = %d", m.Samples)
+	}
+}
+
+func TestRunReproducesPaperNumbers(t *testing.T) {
+	sim := netsim.New(7)
+	tb := NewTestbed(sim)
+	// Module draws as calibrated in core: SFP 0.893 W, FlexSFP 1.520 W.
+	r := tb.Run(0.893, 1.520, 500)
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("%s = %.3f W, want %.3f", name, got, want)
+		}
+	}
+	check("NIC only", r.NICOnly.MeanW, 3.800)
+	check("NIC+SFP", r.WithSFP.MeanW, 4.693)
+	check("NIC+FlexSFP", r.WithFlex.MeanW, 5.320)
+	check("SFP delta", r.DeltaSFP, 0.893)
+	check("FlexSFP delta", r.DeltaFlex, 1.520)
+	check("Flex over SFP", r.FlexOverSFP, 0.627)
+	// Paper's qualitative deltas: ~.9 W, ~.7 W increase, ~1.5 W total.
+	if r.DeltaSFP < 0.85 || r.DeltaSFP > 0.95 {
+		t.Errorf("SFP draw %v outside ~0.9 W", r.DeltaSFP)
+	}
+	if r.FlexOverSFP < 0.6 || r.FlexOverSFP > 0.8 {
+		t.Errorf("Flex increase %v outside ~0.7 W", r.FlexOverSFP)
+	}
+	if r.DeltaFlex < 1.4 || r.DeltaFlex > 1.6 {
+		t.Errorf("Flex total %v outside ~1.5 W", r.DeltaFlex)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := NewTestbed(netsim.New(3)).Run(0.893, 1.52, 200)
+	b := NewTestbed(netsim.New(3)).Run(0.893, 1.52, 200)
+	if a != b {
+		t.Error("same seed produced different reports")
+	}
+}

@@ -1,0 +1,187 @@
+package ppe
+
+import (
+	"fmt"
+
+	"flexsfp/internal/netsim"
+)
+
+// Engine executes a compiled Program with cycle accounting: a streaming
+// pipeline consumes one datapath word per clock, so a frame of L bytes
+// occupies ceil(L / (width/8)) + 1 cycles at the input (the +1 models the
+// inter-packet realignment bubble), and the verdict emerges a pipeline-
+// depth later. Throughput saturates exactly where the paper's arithmetic
+// says it must: 64-bit × 156.25 MHz sustains 10 Gb/s one way, and a
+// Two-Way-Core needs double clock or width (§4.1, §5.3).
+type Engine struct {
+	sim          *netsim.Simulator
+	clockHz      int64
+	datapathBits int
+
+	prog  *Program
+	depth int // pipeline depth in cycles
+
+	// QueueLimit bounds frames waiting for the pipeline input; 0 means
+	// unbounded. Full-queue arrivals are dropped (counted).
+	QueueLimit int
+
+	out func(v Verdict, ctx *Ctx)
+
+	busyUntilPs int64
+	busyPs      int64 // accumulated busy picoseconds (for utilization)
+	queued      int
+
+	stats EngineStats
+}
+
+// EngineStats counts engine activity.
+type EngineStats struct {
+	In        uint64 // frames accepted
+	InBytes   uint64
+	QueueDrop uint64 // frames dropped at a full input queue
+	Pass      uint64
+	Drop      uint64 // verdict drops
+	Tx        uint64
+	Redirect  uint64
+	ToCPU     uint64
+}
+
+// NewEngine builds an engine clocked at clockHz with the given datapath
+// width, delivering verdicts to out.
+func NewEngine(sim *netsim.Simulator, clockHz int64, datapathBits int, out func(Verdict, *Ctx)) *Engine {
+	if clockHz <= 0 {
+		panic("ppe: clock must be positive")
+	}
+	if datapathBits < 8 {
+		panic("ppe: datapath narrower than one byte")
+	}
+	return &Engine{
+		sim:          sim,
+		clockHz:      clockHz,
+		datapathBits: datapathBits,
+		out:          out,
+	}
+}
+
+// SetProgram loads (or replaces, on reconfiguration) the program.
+func (e *Engine) SetProgram(p *Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Handler == nil {
+		return fmt.Errorf("ppe: program %q has no handler", p.Name)
+	}
+	e.prog = p
+	e.depth = p.PipelineDepth(e.datapathBits)
+	return nil
+}
+
+// Program returns the loaded program (nil before SetProgram).
+func (e *Engine) Program() *Program { return e.prog }
+
+// ClockHz returns the engine clock.
+func (e *Engine) ClockHz() int64 { return e.clockHz }
+
+// DatapathBits returns the datapath width.
+func (e *Engine) DatapathBits() int { return e.datapathBits }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// cyclePs returns the clock period in picoseconds.
+func (e *Engine) cyclePs() int64 {
+	return (1_000_000_000_000 + e.clockHz - 1) / e.clockHz
+}
+
+// ServiceCycles returns the input occupancy of a frame of n bytes.
+func (e *Engine) ServiceCycles(n int) int64 {
+	wordBytes := e.datapathBits / 8
+	return int64((n+wordBytes-1)/wordBytes) + 1
+}
+
+// CapacityPPS returns the maximum sustainable packet rate for frames of n
+// bytes.
+func (e *Engine) CapacityPPS(n int) float64 {
+	return float64(e.clockHz) / float64(e.ServiceCycles(n))
+}
+
+// CapacityBitsPerSec returns the maximum sustainable payload bit rate for
+// frames of n bytes.
+func (e *Engine) CapacityBitsPerSec(n int) float64 {
+	return e.CapacityPPS(n) * float64(n) * 8
+}
+
+// Latency returns the processing latency (pipeline depth + service) for a
+// frame of n bytes, excluding queueing.
+func (e *Engine) Latency(n int) netsim.Duration {
+	cycles := e.ServiceCycles(n) + int64(e.depth)
+	return netsim.Duration((cycles*e.cyclePs() + 999) / 1000)
+}
+
+// Utilization returns the fraction of time the pipeline input was busy
+// since simulation start.
+func (e *Engine) Utilization() float64 {
+	nowPs := int64(e.sim.Now()) * 1000
+	if nowPs == 0 {
+		return 0
+	}
+	busy := e.busyPs
+	if e.busyUntilPs > nowPs {
+		busy -= e.busyUntilPs - nowPs // don't count future occupancy
+	}
+	return float64(busy) / float64(nowPs)
+}
+
+// Submit offers a frame to the pipeline. It returns false if the input
+// queue is full and the frame was dropped. The data slice is owned by the
+// engine until the verdict callback fires.
+func (e *Engine) Submit(data []byte, dir Direction) bool {
+	if e.prog == nil {
+		panic("ppe: Submit before SetProgram")
+	}
+	nowPs := int64(e.sim.Now()) * 1000
+	startPs := e.busyUntilPs
+	if startPs < nowPs {
+		startPs = nowPs
+	}
+	if e.QueueLimit > 0 && startPs > nowPs && e.queued >= e.QueueLimit {
+		e.stats.QueueDrop++
+		return false
+	}
+	servicePs := e.ServiceCycles(len(data)) * e.cyclePs()
+	e.busyUntilPs = startPs + servicePs
+	e.busyPs += servicePs
+	if startPs > nowPs {
+		e.queued++
+	}
+	e.stats.In++
+	e.stats.InBytes += uint64(len(data))
+
+	ctx := &Ctx{Data: data, Dir: dir, TimestampNs: uint64(e.sim.Now())}
+	donePs := e.busyUntilPs + int64(e.depth)*e.cyclePs()
+	e.sim.ScheduleAt(netsim.Time((donePs+999)/1000), func() {
+		if e.queued > 0 {
+			e.queued--
+		}
+		v := e.prog.Handler.HandlePacket(ctx)
+		switch v {
+		case VerdictPass:
+			e.stats.Pass++
+		case VerdictDrop:
+			e.stats.Drop++
+		case VerdictTx:
+			e.stats.Tx++
+		case VerdictRedirect:
+			e.stats.Redirect++
+		case VerdictToCPU:
+			e.stats.ToCPU++
+		}
+		if e.out != nil {
+			e.out(v, ctx)
+		}
+	})
+	return true
+}
+
+// SetOutput replaces the verdict callback (used when wiring shells).
+func (e *Engine) SetOutput(out func(Verdict, *Ctx)) { e.out = out }

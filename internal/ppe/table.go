@@ -1,0 +1,280 @@
+package ppe
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Table errors.
+var (
+	ErrKeySize   = errors.New("ppe: key size does not match table spec")
+	ErrValueSize = errors.New("ppe: value size does not match table spec")
+	ErrTableFull = errors.New("ppe: table full")
+	ErrNotFound  = errors.New("ppe: entry not found")
+)
+
+// Table is an exact-match table with per-entry hit counters. Updates are
+// atomic with respect to lookups (§4.2: "APIs to read/write tables and
+// counters with atomic, runtime updates at line rate"); the lock models
+// the hardware's shadowed table banks.
+type Table struct {
+	Spec TableSpec
+
+	mu      sync.RWMutex
+	entries map[string][]byte
+	hits    map[string]uint64
+	gen     uint64
+	lookups uint64
+	misses  uint64
+}
+
+// NewTable builds an empty table from its spec.
+func NewTable(spec TableSpec) *Table {
+	return &Table{
+		Spec:    spec,
+		entries: make(map[string][]byte),
+		hits:    make(map[string]uint64),
+	}
+}
+
+// KeyBytes returns the exact key length in bytes.
+func (t *Table) KeyBytes() int { return (t.Spec.KeyBits + 7) / 8 }
+
+// ValueBytes returns the exact value length in bytes.
+func (t *Table) ValueBytes() int { return (t.Spec.ValueBits + 7) / 8 }
+
+func (t *Table) checkSizes(key, value []byte) error {
+	if len(key) != t.KeyBytes() {
+		return fmt.Errorf("%w: got %d bytes, want %d", ErrKeySize, len(key), t.KeyBytes())
+	}
+	if value != nil && len(value) != t.ValueBytes() {
+		return fmt.Errorf("%w: got %d bytes, want %d", ErrValueSize, len(value), t.ValueBytes())
+	}
+	return nil
+}
+
+// Add inserts or replaces an entry.
+func (t *Table) Add(key, value []byte) error {
+	if err := t.checkSizes(key, value); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := string(key)
+	if _, exists := t.entries[k]; !exists && len(t.entries) >= t.Spec.Size {
+		return fmt.Errorf("%w: %q at %d entries", ErrTableFull, t.Spec.Name, t.Spec.Size)
+	}
+	t.entries[k] = append([]byte(nil), value...)
+	t.gen++
+	return nil
+}
+
+// Delete removes an entry.
+func (t *Table) Delete(key []byte) error {
+	if err := t.checkSizes(key, nil); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := string(key)
+	if _, ok := t.entries[k]; !ok {
+		return fmt.Errorf("%w: %x", ErrNotFound, key)
+	}
+	delete(t.entries, k)
+	delete(t.hits, k)
+	t.gen++
+	return nil
+}
+
+// Lookup returns the value for key, counting the hit or miss. The
+// returned slice must not be modified.
+func (t *Table) Lookup(key []byte) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lookups++
+	v, ok := t.entries[string(key)]
+	if !ok {
+		t.misses++
+		return nil, false
+	}
+	t.hits[string(key)]++
+	return v, true
+}
+
+// Peek returns the value without touching counters (control-plane reads).
+func (t *Table) Peek(key []byte) ([]byte, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v, ok := t.entries[string(key)]
+	return v, ok
+}
+
+// Len returns the current entry count.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Generation returns the update generation (incremented by Add/Delete).
+func (t *Table) Generation() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.gen
+}
+
+// Stats returns lookup/miss totals.
+func (t *Table) Stats() (lookups, misses uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.lookups, t.misses
+}
+
+// TableEntry is a snapshot row.
+type TableEntry struct {
+	Key   []byte
+	Value []byte
+	Hits  uint64
+}
+
+// Snapshot returns all entries sorted by key (control-plane table dump).
+func (t *Table) Snapshot() []TableEntry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]TableEntry, 0, len(t.entries))
+	for k, v := range t.entries {
+		out = append(out, TableEntry{
+			Key:   []byte(k),
+			Value: append([]byte(nil), v...),
+			Hits:  t.hits[k],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].Key, out[j].Key) < 0 })
+	return out
+}
+
+// TernaryEntry is one masked entry: key matches when
+// candidate&Mask == Value&Mask. Higher Priority wins.
+type TernaryEntry struct {
+	Value    []byte
+	Mask     []byte
+	Priority int
+	Data     []byte // action data
+	Hits     uint64
+}
+
+// TernaryTable is a priority-ordered masked table (register-based TCAM).
+type TernaryTable struct {
+	Spec TableSpec
+
+	mu      sync.RWMutex
+	entries []*TernaryEntry
+	gen     uint64
+	lookups uint64
+	misses  uint64
+}
+
+// NewTernaryTable builds an empty ternary table.
+func NewTernaryTable(spec TableSpec) *TernaryTable {
+	return &TernaryTable{Spec: spec}
+}
+
+// KeyBytes returns the key length in bytes.
+func (t *TernaryTable) KeyBytes() int { return (t.Spec.KeyBits + 7) / 8 }
+
+// Add inserts an entry. Entries are kept sorted by descending priority;
+// equal priorities keep insertion order.
+func (t *TernaryTable) Add(e TernaryEntry) error {
+	if len(e.Value) != t.KeyBytes() || len(e.Mask) != t.KeyBytes() {
+		return fmt.Errorf("%w: value/mask %d/%d bytes, want %d",
+			ErrKeySize, len(e.Value), len(e.Mask), t.KeyBytes())
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.entries) >= t.Spec.Size {
+		return fmt.Errorf("%w: %q at %d entries", ErrTableFull, t.Spec.Name, t.Spec.Size)
+	}
+	ne := &TernaryEntry{
+		Value:    append([]byte(nil), e.Value...),
+		Mask:     append([]byte(nil), e.Mask...),
+		Priority: e.Priority,
+		Data:     append([]byte(nil), e.Data...),
+	}
+	idx := sort.Search(len(t.entries), func(i int) bool {
+		return t.entries[i].Priority < ne.Priority
+	})
+	t.entries = append(t.entries, nil)
+	copy(t.entries[idx+1:], t.entries[idx:])
+	t.entries[idx] = ne
+	t.gen++
+	return nil
+}
+
+// Clear removes all entries.
+func (t *TernaryTable) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = nil
+	t.gen++
+}
+
+// Lookup returns the action data of the highest-priority matching entry.
+func (t *TernaryTable) Lookup(key []byte) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lookups++
+	for _, e := range t.entries {
+		if maskedEqual(key, e.Value, e.Mask) {
+			e.Hits++
+			return e.Data, true
+		}
+	}
+	t.misses++
+	return nil, false
+}
+
+func maskedEqual(key, value, mask []byte) bool {
+	if len(key) != len(value) {
+		return false
+	}
+	for i := range key {
+		if key[i]&mask[i] != value[i]&mask[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the entry count.
+func (t *TernaryTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Stats returns lookup/miss totals.
+func (t *TernaryTable) Stats() (lookups, misses uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.lookups, t.misses
+}
+
+// Snapshot returns a copy of the entries in match order.
+func (t *TernaryTable) Snapshot() []TernaryEntry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]TernaryEntry, len(t.entries))
+	for i, e := range t.entries {
+		out[i] = TernaryEntry{
+			Value:    append([]byte(nil), e.Value...),
+			Mask:     append([]byte(nil), e.Mask...),
+			Priority: e.Priority,
+			Data:     append([]byte(nil), e.Data...),
+			Hits:     e.Hits,
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+// Package reliability makes the §5.3 "Failure Recovery" discussion
+// quantitative: VCSEL lasers wear out ahead of the electronics, with
+// lognormally-distributed time-to-failure and gradual optical power
+// degradation as the dominant mode. The fleet simulation measures how
+// often DDM monitoring catches degradation before the link dies, and
+// compares replacement economics: whole-module swaps (the only option
+// for cheap SFPs) versus component-level laser replacement, which the
+// FlexSFP's higher unit price justifies.
+package reliability
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// VCSELModel is the lognormal wear-out model (per the OMEGA reliability
+// assessment the paper cites).
+type VCSELModel struct {
+	// MedianYears is the median time to failure.
+	MedianYears float64
+	// Sigma is the lognormal shape parameter.
+	Sigma float64
+	// DegradationExponent shapes the power-loss ramp: degradation(t) =
+	// (t/ttf)^k — slow early wear, then a steep final drop.
+	DegradationExponent float64
+}
+
+// DefaultVCSEL returns parameters consistent with published VCSEL
+// reliability studies: median TTF ≈ 12 years, σ ≈ 0.5.
+func DefaultVCSEL() VCSELModel {
+	return VCSELModel{MedianYears: 12, Sigma: 0.5, DegradationExponent: 4}
+}
+
+// SampleTTFYears draws one time-to-failure.
+func (m VCSELModel) SampleTTFYears(rng *rand.Rand) float64 {
+	return m.MedianYears * math.Exp(m.Sigma*rng.NormFloat64())
+}
+
+// DegradationAt returns the fractional optical power loss at age t for a
+// part that fails (reaches full degradation) at ttf.
+func (m VCSELModel) DegradationAt(t, ttf float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if t >= ttf {
+		return 1
+	}
+	return math.Pow(t/ttf, m.DegradationExponent)
+}
+
+// FleetConfig drives the fleet simulation.
+type FleetConfig struct {
+	Modules int
+	Years   float64
+	// InspectionIntervalYears is how often DDM telemetry is evaluated.
+	InspectionIntervalYears float64
+	// WarnDegradation is the degradation fraction at which DDM flags the
+	// laser (≈2 dB power drop → 0.37).
+	WarnDegradation float64
+	// Replacement economics.
+	StandardSFPUnitUSD  float64 // whole cheap module
+	FlexSFPUnitUSD      float64 // whole FlexSFP
+	LaserSubassemblyUSD float64 // component-level repair part
+	RepairLaborUSD      float64 // per-intervention labor (same either way)
+}
+
+// DefaultFleet returns the paper-scale scenario: a metro operator with
+// 10,000 ports over 10 years, quarterly telemetry sweeps.
+func DefaultFleet() FleetConfig {
+	return FleetConfig{
+		Modules:                 10000,
+		Years:                   10,
+		InspectionIntervalYears: 0.25,
+		WarnDegradation:         0.37,
+		StandardSFPUnitUSD:      10,
+		FlexSFPUnitUSD:          275,
+		LaserSubassemblyUSD:     20,
+		RepairLaborUSD:          30,
+	}
+}
+
+// FleetReport summarizes a fleet run.
+type FleetReport struct {
+	Modules  int
+	Failures int // lasers that reached end of life in the horizon
+	// DetectedEarly is how many were flagged by a DDM sweep before the
+	// link actually died (the §5.3 visibility advantage).
+	DetectedEarly int
+	// MTTFYears is the mean sampled TTF (including beyond-horizon parts).
+	MTTFYears float64
+	// P10 / P90 of sampled TTFs.
+	P10Years, P90Years float64
+
+	// Economics over the horizon (replacement costs only).
+	StandardSwapCostUSD   float64 // cheap SFP: swap the module
+	FlexModuleSwapCostUSD float64 // FlexSFP: swap the whole module
+	FlexLaserRepairUSD    float64 // FlexSFP: replace the laser subassembly
+	// LaserRepairSavingFrac is the fraction saved by component-level
+	// repair versus whole-FlexSFP swaps.
+	LaserRepairSavingFrac float64
+}
+
+// RunFleet simulates the fleet deterministically for a seed.
+func RunFleet(seed int64, m VCSELModel, cfg FleetConfig) FleetReport {
+	rng := rand.New(rand.NewSource(seed))
+	ttfs := make([]float64, cfg.Modules)
+	for i := range ttfs {
+		ttfs[i] = m.SampleTTFYears(rng)
+	}
+
+	rep := FleetReport{Modules: cfg.Modules}
+	var sum float64
+	for _, ttf := range ttfs {
+		sum += ttf
+		if ttf <= cfg.Years {
+			rep.Failures++
+			// Was there an inspection between the warn point and death?
+			warnAge := ttf * math.Pow(cfg.WarnDegradation, 1/m.DegradationExponent)
+			firstSweepAfterWarn := math.Ceil(warnAge/cfg.InspectionIntervalYears) * cfg.InspectionIntervalYears
+			if firstSweepAfterWarn < ttf {
+				rep.DetectedEarly++
+			}
+		}
+	}
+	rep.MTTFYears = sum / float64(cfg.Modules)
+	sorted := append([]float64(nil), ttfs...)
+	sort.Float64s(sorted)
+	rep.P10Years = sorted[cfg.Modules/10]
+	rep.P90Years = sorted[cfg.Modules*9/10]
+
+	f := float64(rep.Failures)
+	rep.StandardSwapCostUSD = f * (cfg.StandardSFPUnitUSD + cfg.RepairLaborUSD)
+	rep.FlexModuleSwapCostUSD = f * (cfg.FlexSFPUnitUSD + cfg.RepairLaborUSD)
+	rep.FlexLaserRepairUSD = f * (cfg.LaserSubassemblyUSD + cfg.RepairLaborUSD)
+	if rep.FlexModuleSwapCostUSD > 0 {
+		rep.LaserRepairSavingFrac = 1 - rep.FlexLaserRepairUSD/rep.FlexModuleSwapCostUSD
+	}
+	return rep
+}
+
+// ComponentRepairViable captures the §5.3 argument: component-level
+// replacement makes sense when the repair part + labor costs materially
+// less than the module; for a $10 SFP it never does, for a $275 FlexSFP
+// it does.
+func ComponentRepairViable(moduleUSD, partUSD, laborUSD float64) bool {
+	return partUSD+laborUSD < 0.5*moduleUSD
+}

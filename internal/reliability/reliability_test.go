@@ -1,0 +1,151 @@
+package reliability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLognormalTTFStatistics(t *testing.T) {
+	m := DefaultVCSEL()
+	rng := rand.New(rand.NewSource(1))
+	n := 20000
+	var logs []float64
+	below := 0
+	for i := 0; i < n; i++ {
+		ttf := m.SampleTTFYears(rng)
+		if ttf < m.MedianYears {
+			below++
+		}
+		logs = append(logs, math.Log(ttf))
+	}
+	// Median property: ≈50% below the median.
+	frac := float64(below) / float64(n)
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("fraction below median = %.3f", frac)
+	}
+	// Log-scale standard deviation ≈ sigma.
+	var mean, sum2 float64
+	for _, l := range logs {
+		mean += l
+	}
+	mean /= float64(n)
+	for _, l := range logs {
+		sum2 += (l - mean) * (l - mean)
+	}
+	sd := math.Sqrt(sum2 / float64(n))
+	if math.Abs(sd-m.Sigma) > 0.03 {
+		t.Errorf("log-sd = %.3f, want %.2f", sd, m.Sigma)
+	}
+}
+
+func TestDegradationRamp(t *testing.T) {
+	m := DefaultVCSEL()
+	if m.DegradationAt(0, 10) != 0 {
+		t.Error("new laser degraded")
+	}
+	if m.DegradationAt(10, 10) != 1 {
+		t.Error("end-of-life laser not fully degraded")
+	}
+	// Gradual: at half life the loss is small (0.5^4 ≈ 6%).
+	if d := m.DegradationAt(5, 10); d > 0.1 {
+		t.Errorf("half-life degradation = %.3f, want gradual", d)
+	}
+	// Steep finish: at 90% life, substantial loss.
+	if d := m.DegradationAt(9, 10); d < 0.5 {
+		t.Errorf("late-life degradation = %.3f, want steep", d)
+	}
+}
+
+func TestDegradationMonotoneProperty(t *testing.T) {
+	m := DefaultVCSEL()
+	f := func(a, b float64) bool {
+		x, y := math.Abs(a), math.Abs(b)
+		for x > 20 {
+			x /= 10
+		}
+		for y > 20 {
+			y /= 10
+		}
+		if x > y {
+			x, y = y, x
+		}
+		return m.DegradationAt(x, 20) <= m.DegradationAt(y, 20)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFleetReport(t *testing.T) {
+	rep := RunFleet(11, DefaultVCSEL(), DefaultFleet())
+	if rep.Modules != 10000 {
+		t.Fatalf("modules = %d", rep.Modules)
+	}
+	// Median 12y, horizon 10y: a substantial minority fails in-horizon.
+	frac := float64(rep.Failures) / float64(rep.Modules)
+	if frac < 0.15 || frac > 0.50 {
+		t.Errorf("failure fraction = %.3f, want ≈0.3", frac)
+	}
+	if rep.MTTFYears < 10 || rep.MTTFYears > 18 {
+		t.Errorf("MTTF = %.1f years", rep.MTTFYears)
+	}
+	if rep.P10Years >= rep.P90Years {
+		t.Error("percentiles inverted")
+	}
+	// Quarterly DDM sweeps catch nearly every gradual wear-out before
+	// the link dies.
+	detected := float64(rep.DetectedEarly) / float64(rep.Failures)
+	if detected < 0.95 {
+		t.Errorf("early detection = %.2f, want ≥0.95 with quarterly sweeps", detected)
+	}
+}
+
+func TestReplacementEconomics(t *testing.T) {
+	rep := RunFleet(11, DefaultVCSEL(), DefaultFleet())
+	// Laser repair on FlexSFPs saves most of the whole-module cost.
+	if rep.LaserRepairSavingFrac < 0.7 {
+		t.Errorf("laser-repair saving = %.2f", rep.LaserRepairSavingFrac)
+	}
+	if rep.FlexLaserRepairUSD >= rep.FlexModuleSwapCostUSD {
+		t.Error("component repair not cheaper than module swap")
+	}
+	// For cheap SFPs, module swap is cheaper than any repair would be.
+	if rep.StandardSwapCostUSD >= rep.FlexModuleSwapCostUSD {
+		t.Error("standard swap should be the cheapest absolute strategy")
+	}
+}
+
+func TestComponentRepairViability(t *testing.T) {
+	cfg := DefaultFleet()
+	// §5.3: viable for the FlexSFP, not for a $10 SFP.
+	if !ComponentRepairViable(cfg.FlexSFPUnitUSD, cfg.LaserSubassemblyUSD, cfg.RepairLaborUSD) {
+		t.Error("laser repair should be viable for FlexSFP")
+	}
+	if ComponentRepairViable(cfg.StandardSFPUnitUSD, 8, cfg.RepairLaborUSD) {
+		t.Error("laser repair should not be viable for a $10 SFP")
+	}
+}
+
+func TestFleetDeterminism(t *testing.T) {
+	a := RunFleet(5, DefaultVCSEL(), DefaultFleet())
+	b := RunFleet(5, DefaultVCSEL(), DefaultFleet())
+	if a != b {
+		t.Error("same seed produced different fleet reports")
+	}
+	c := RunFleet(6, DefaultVCSEL(), DefaultFleet())
+	if a == c {
+		t.Error("different seeds produced identical reports")
+	}
+}
+
+func TestInspectionIntervalMatters(t *testing.T) {
+	cfg := DefaultFleet()
+	cfg.InspectionIntervalYears = 3 // rare sweeps miss the warning window
+	rare := RunFleet(11, DefaultVCSEL(), cfg)
+	frequent := RunFleet(11, DefaultVCSEL(), DefaultFleet())
+	if rare.DetectedEarly >= frequent.DetectedEarly {
+		t.Errorf("rare sweeps detected %d ≥ frequent %d", rare.DetectedEarly, frequent.DetectedEarly)
+	}
+}

@@ -1,0 +1,180 @@
+package trafficgen
+
+import (
+	"math"
+	"testing"
+
+	"flexsfp/internal/netsim"
+	"flexsfp/internal/packet"
+)
+
+var (
+	gMacA = packet.MustMAC("02:00:00:00:00:0a")
+	gMacB = packet.MustMAC("02:00:00:00:00:0b")
+)
+
+func TestConstantRate(t *testing.T) {
+	sim := netsim.New(1)
+	var got int
+	g := New(sim, Config{PPS: 1e6, SrcMAC: gMacA, DstMAC: gMacB}, func(b []byte) bool {
+		got++
+		return true
+	})
+	g.Run(1000)
+	sim.Run()
+	if got != 1000 || g.Sent != 1000 {
+		t.Errorf("got %d frames, sent %d", got, g.Sent)
+	}
+	// 1000 frames at 1 Mpps = 1 ms.
+	if math.Abs(sim.Now().Seconds()-0.001) > 0.0001 {
+		t.Errorf("finished at %v", sim.Now())
+	}
+}
+
+func TestFixedSizeFrames(t *testing.T) {
+	sim := netsim.New(1)
+	g := New(sim, Config{
+		PPS: 1e6, Sizes: []IMIXEntry{{Size: 128, Weight: 1}},
+		SrcMAC: gMacA, DstMAC: gMacB,
+	}, func(b []byte) bool {
+		if len(b) != 128 {
+			t.Fatalf("frame size = %d", len(b))
+		}
+		return true
+	})
+	g.Run(50)
+	sim.Run()
+}
+
+func TestIMIXDistribution(t *testing.T) {
+	sim := netsim.New(2)
+	sizes := map[int]int{}
+	g := New(sim, Config{
+		PPS: 1e6, Sizes: SimpleIMIX(), SrcMAC: gMacA, DstMAC: gMacB,
+	}, func(b []byte) bool {
+		sizes[len(b)]++
+		return true
+	})
+	g.Run(12000)
+	sim.Run()
+	// 7:4:1 → ≈58%/33%/8%.
+	total := 12000.0
+	if f := float64(sizes[64]) / total; math.Abs(f-7.0/12) > 0.03 {
+		t.Errorf("64B fraction = %.3f", f)
+	}
+	if f := float64(sizes[594]) / total; math.Abs(f-4.0/12) > 0.03 {
+		t.Errorf("594B fraction = %.3f", f)
+	}
+	if f := float64(sizes[1518]) / total; math.Abs(f-1.0/12) > 0.03 {
+		t.Errorf("1518B fraction = %.3f", f)
+	}
+	if g.MeanFrameSize() < 300 || g.MeanFrameSize() > 400 {
+		t.Errorf("mean size = %.0f", g.MeanFrameSize())
+	}
+}
+
+func TestFlowsAreDistinctAndDecodable(t *testing.T) {
+	sim := netsim.New(3)
+	ports := map[uint16]bool{}
+	g := New(sim, Config{
+		PPS: 1e6, Flows: 16, SrcMAC: gMacA, DstMAC: gMacB,
+	}, func(b []byte) bool {
+		pkt := packet.NewPacket(b, packet.LayerTypeEthernet)
+		if pkt.ErrorLayer() != nil {
+			t.Fatal(pkt.ErrorLayer())
+		}
+		u := pkt.Layer(packet.LayerTypeUDP).(*packet.UDP)
+		ports[u.SrcPort] = true
+		return true
+	})
+	g.Run(500)
+	sim.Run()
+	if len(ports) != 16 {
+		t.Errorf("distinct flows seen = %d, want 16", len(ports))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	sim := netsim.New(4)
+	counts := map[uint16]int{}
+	g := New(sim, Config{
+		PPS: 1e6, Flows: 64, ZipfS: 1.2, SrcMAC: gMacA, DstMAC: gMacB,
+	}, func(b []byte) bool {
+		var eth packet.Ethernet
+		var ip packet.IPv4
+		var udp packet.UDP
+		p := packet.NewParser(packet.LayerTypeEthernet, &eth, &ip, &udp)
+		var decoded []packet.LayerType
+		if err := p.DecodeLayers(b, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		counts[udp.SrcPort]++
+		return true
+	})
+	g.Run(5000)
+	sim.Run()
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// The head flow should dominate far beyond uniform (5000/64 ≈ 78).
+	if max < 500 {
+		t.Errorf("head flow has %d packets; Zipf skew too weak", max)
+	}
+}
+
+func TestRefusedCounting(t *testing.T) {
+	sim := netsim.New(1)
+	n := 0
+	g := New(sim, Config{PPS: 1e6, SrcMAC: gMacA, DstMAC: gMacB}, func(b []byte) bool {
+		n++
+		return n%2 == 0
+	})
+	g.Run(100)
+	sim.Run()
+	if g.Refused != 50 {
+		t.Errorf("refused = %d, want 50", g.Refused)
+	}
+}
+
+func TestStop(t *testing.T) {
+	sim := netsim.New(1)
+	g := New(sim, Config{PPS: 1e6, SrcMAC: gMacA, DstMAC: gMacB}, func(b []byte) bool { return true })
+	g.Run(0) // unbounded
+	sim.Schedule(50*netsim.Microsecond, func() { g.Stop() })
+	sim.Run()
+	if g.Sent < 40 || g.Sent > 60 {
+		t.Errorf("sent %d frames before stop, want ≈50", g.Sent)
+	}
+}
+
+func TestJitterChangesSpacingButNotRate(t *testing.T) {
+	sim := netsim.New(5)
+	g := New(sim, Config{PPS: 1e6, Jitter: 0.5, SrcMAC: gMacA, DstMAC: gMacB},
+		func(b []byte) bool { return true })
+	g.Run(10000)
+	sim.Run()
+	rate := float64(g.Sent) / sim.Now().Seconds()
+	if math.Abs(rate-1e6)/1e6 > 0.05 {
+		t.Errorf("jittered rate = %.0f pps, want ≈1e6", rate)
+	}
+}
+
+func TestGeneratorCopiesFrames(t *testing.T) {
+	sim := netsim.New(1)
+	var prev []byte
+	g := New(sim, Config{PPS: 1e6, SrcMAC: gMacA, DstMAC: gMacB}, func(b []byte) bool {
+		if prev != nil {
+			prev[0] = 0xEE // mutate previous; must not affect next frame
+		}
+		if b[0] == 0xEE {
+			t.Fatal("generator reused a mutated buffer")
+		}
+		prev = b
+		return true
+	})
+	g.Run(10)
+	sim.Run()
+}

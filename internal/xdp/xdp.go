@@ -1,0 +1,272 @@
+// Package xdp implements the eBPF/XDP offload path of §4.2: "Application
+// development may follow various approaches, including … implementing
+// offload mechanisms for eBPF/XDP [hXDP, eHDL]." It provides a compact
+// eBPF-inspired instruction set, a verifier enforcing the properties a
+// hardware datapath needs (bounded programs, forward-only control flow,
+// checked packet access), an interpreter that models the synthesized
+// logic, and an adapter that packages a verified program as a ppe.Program
+// with hXDP-calibrated resource estimates — so XDP-style codelets ride
+// the same compile → bitstream → boot pipeline as the native apps.
+package xdp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Reg is a register index; r0..r9 are general purpose (r0 carries the
+// verdict at exit), r10 is reserved (reads as frame length).
+type Reg uint8
+
+// NumRegs is the register file size.
+const NumRegs = 11
+
+// RegFrameLen is the read-only register holding the packet length.
+const RegFrameLen Reg = 10
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. ALU ops take dst and either src register or immediate;
+// loads read from the packet at [srcReg + off]; stores write the low
+// bytes of src (or the immediate) to [dstReg + off]; jumps are relative
+// and strictly forward.
+const (
+	OpMov Op = iota
+	OpAdd
+	OpSub
+	OpMul
+	OpAnd
+	OpOr
+	OpXor
+	OpLsh
+	OpRsh
+	OpLdB  // dst = u8  pkt[src+off]
+	OpLdH  // dst = u16 pkt[src+off] (big-endian, network order)
+	OpLdW  // dst = u32 pkt[src+off]
+	OpStB  // pkt[dst+off] = u8(srcOrImm)
+	OpStH  // pkt[dst+off] = u16(srcOrImm)
+	OpStW  // pkt[dst+off] = u32(srcOrImm)
+	OpJmp  // pc += off
+	OpJEq  // if dst == srcOrImm: pc += off
+	OpJNe  // if dst != srcOrImm: pc += off
+	OpJGt  // if dst >  srcOrImm: pc += off
+	OpJLt  // if dst <  srcOrImm: pc += off
+	OpJSet // if dst &  srcOrImm: pc += off
+	OpExit // return r0 as the XDP action
+	opMax
+)
+
+var opNames = [...]string{
+	OpMov: "mov", OpAdd: "add", OpSub: "sub", OpMul: "mul",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpLsh: "lsh", OpRsh: "rsh",
+	OpLdB: "ldb", OpLdH: "ldh", OpLdW: "ldw",
+	OpStB: "stb", OpStH: "sth", OpStW: "stw",
+	OpJmp: "jmp", OpJEq: "jeq", OpJNe: "jne", OpJGt: "jgt", OpJLt: "jlt",
+	OpJSet: "jset", OpExit: "exit",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Insn is one instruction.
+type Insn struct {
+	Op     Op
+	Dst    Reg
+	Src    Reg
+	Off    int16 // jump displacement or memory offset
+	Imm    int64
+	UseImm bool // ALU/jump second operand is Imm rather than Src
+}
+
+// XDP actions returned in r0, matching the kernel's numbering.
+const (
+	ActAborted  = 0
+	ActDrop     = 1
+	ActPass     = 2
+	ActTx       = 3
+	ActRedirect = 4
+)
+
+// MaxInsns bounds program size (hXDP-class instruction memories).
+const MaxInsns = 4096
+
+// Program is a sequence of instructions.
+type Program struct {
+	Name  string
+	Insns []Insn
+}
+
+// Verification errors.
+var (
+	ErrTooLong     = errors.New("xdp: program exceeds MaxInsns")
+	ErrEmpty       = errors.New("xdp: empty program")
+	ErrBadReg      = errors.New("xdp: bad register")
+	ErrBadOp       = errors.New("xdp: bad opcode")
+	ErrBackJump    = errors.New("xdp: backward jump (loops are not offloadable)")
+	ErrJumpRange   = errors.New("xdp: jump out of range")
+	ErrNoExit      = errors.New("xdp: control can fall off the end")
+	ErrWriteROReg  = errors.New("xdp: write to read-only register")
+	ErrShiftRange  = errors.New("xdp: shift amount out of range")
+	ErrOutOfBounds = errors.New("xdp: packet access out of bounds")
+	ErrDivByZero   = errors.New("xdp: arithmetic fault")
+	ErrNotVerified = errors.New("xdp: program not verified")
+)
+
+// Verify checks the static properties a hardware offload needs: bounded
+// size, valid registers and opcodes, strictly forward jumps (termination
+// by construction — the same restriction hXDP-class datapaths impose),
+// and that every path reaches OpExit.
+func (p *Program) Verify() error {
+	n := len(p.Insns)
+	if n == 0 {
+		return ErrEmpty
+	}
+	if n > MaxInsns {
+		return fmt.Errorf("%w: %d", ErrTooLong, n)
+	}
+	for i, in := range p.Insns {
+		if in.Op >= opMax {
+			return fmt.Errorf("%w at %d: %d", ErrBadOp, i, in.Op)
+		}
+		if in.Dst >= NumRegs || in.Src >= NumRegs {
+			return fmt.Errorf("%w at %d", ErrBadReg, i)
+		}
+		switch in.Op {
+		case OpMov, OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpLsh, OpRsh, OpLdB, OpLdH, OpLdW:
+			if in.Dst == RegFrameLen {
+				return fmt.Errorf("%w at %d", ErrWriteROReg, i)
+			}
+			if (in.Op == OpLsh || in.Op == OpRsh) && in.UseImm && (in.Imm < 0 || in.Imm > 63) {
+				return fmt.Errorf("%w at %d", ErrShiftRange, i)
+			}
+		case OpJmp, OpJEq, OpJNe, OpJGt, OpJLt, OpJSet:
+			if in.Off <= 0 {
+				return fmt.Errorf("%w at %d", ErrBackJump, i)
+			}
+			if i+1+int(in.Off) >= n {
+				return fmt.Errorf("%w at %d", ErrJumpRange, i)
+			}
+		}
+	}
+	// Reachability: with forward-only jumps, simulate the worklist once.
+	// Every reachable instruction must not fall past the end.
+	reachable := make([]bool, n)
+	reachable[0] = true
+	for i := 0; i < n; i++ {
+		if !reachable[i] {
+			continue
+		}
+		in := p.Insns[i]
+		switch in.Op {
+		case OpExit:
+			// terminal
+		case OpJmp:
+			reachable[i+1+int(in.Off)] = true
+		case OpJEq, OpJNe, OpJGt, OpJLt, OpJSet:
+			reachable[i+1+int(in.Off)] = true
+			if i+1 >= n {
+				return ErrNoExit
+			}
+			reachable[i+1] = true
+		default:
+			if i+1 >= n {
+				return ErrNoExit
+			}
+			reachable[i+1] = true
+		}
+	}
+	return nil
+}
+
+// Run interprets the program over pkt. Packet accesses are bounds-checked
+// (the hardware's checked-access unit); an out-of-bounds access aborts
+// the packet, mirroring XDP_ABORTED semantics.
+func (p *Program) Run(pkt []byte) (action int, err error) {
+	var r [NumRegs]uint64
+	r[RegFrameLen] = uint64(len(pkt))
+	pc := 0
+	for pc < len(p.Insns) {
+		in := p.Insns[pc]
+		operand := func() uint64 {
+			if in.UseImm {
+				return uint64(in.Imm)
+			}
+			return r[in.Src]
+		}
+		switch in.Op {
+		case OpMov:
+			r[in.Dst] = operand()
+		case OpAdd:
+			r[in.Dst] += operand()
+		case OpSub:
+			r[in.Dst] -= operand()
+		case OpMul:
+			r[in.Dst] *= operand()
+		case OpAnd:
+			r[in.Dst] &= operand()
+		case OpOr:
+			r[in.Dst] |= operand()
+		case OpXor:
+			r[in.Dst] ^= operand()
+		case OpLsh:
+			r[in.Dst] <<= operand() & 63
+		case OpRsh:
+			r[in.Dst] >>= operand() & 63
+		case OpLdB, OpLdH, OpLdW:
+			size := map[Op]int{OpLdB: 1, OpLdH: 2, OpLdW: 4}[in.Op]
+			at := int64(r[in.Src]) + int64(in.Off)
+			if at < 0 || at+int64(size) > int64(len(pkt)) {
+				return ActAborted, fmt.Errorf("%w: load %d at %d (len %d)", ErrOutOfBounds, size, at, len(pkt))
+			}
+			var v uint64
+			for k := 0; k < size; k++ {
+				v = v<<8 | uint64(pkt[at+int64(k)])
+			}
+			r[in.Dst] = v
+		case OpStB, OpStH, OpStW:
+			size := map[Op]int{OpStB: 1, OpStH: 2, OpStW: 4}[in.Op]
+			at := int64(r[in.Dst]) + int64(in.Off)
+			if at < 0 || at+int64(size) > int64(len(pkt)) {
+				return ActAborted, fmt.Errorf("%w: store %d at %d (len %d)", ErrOutOfBounds, size, at, len(pkt))
+			}
+			v := operand()
+			for k := size - 1; k >= 0; k-- {
+				pkt[at+int64(k)] = byte(v)
+				v >>= 8
+			}
+		case OpJmp:
+			// Displacements are relative to the next instruction, as in
+			// eBPF: pc' = pc + 1 + off.
+			pc += int(in.Off) + 1
+			continue
+		case OpJEq, OpJNe, OpJGt, OpJLt, OpJSet:
+			taken := false
+			a, b := r[in.Dst], operand()
+			switch in.Op {
+			case OpJEq:
+				taken = a == b
+			case OpJNe:
+				taken = a != b
+			case OpJGt:
+				taken = a > b
+			case OpJLt:
+				taken = a < b
+			case OpJSet:
+				taken = a&b != 0
+			}
+			if taken {
+				pc += int(in.Off) + 1
+				continue
+			}
+		case OpExit:
+			return int(r[0]), nil
+		}
+		pc++
+	}
+	return ActAborted, ErrNoExit
+}
