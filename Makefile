@@ -1,8 +1,11 @@
 GO ?= go
 
-.PHONY: all build test race bench vet fmt examples reports clean
+.PHONY: all build test race bench vet fmt check examples reports clean
 
 all: build test
+
+# Everything CI cares about: compile, unit tests, race detector, vet.
+check: build test race vet
 
 build:
 	$(GO) build ./...

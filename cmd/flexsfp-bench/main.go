@@ -6,23 +6,61 @@
 //	flexsfp-bench                  # run everything
 //	flexsfp-bench -run table1,power
 //	flexsfp-bench -seed 42
+//	flexsfp-bench -trials 8        # multi-seed runs with 95% CIs
+//	flexsfp-bench -parallel 4      # bound the worker pool
+//	flexsfp-bench -json            # machine-readable results blob
 //
 // Experiments: table1, table2, table3, power, linerate, arch, scale,
 // gap, reliability, formfactor, latency, retrofit.
+//
+// Independent experiments run concurrently (bounded by -parallel, or
+// GOMAXPROCS); output order is fixed regardless of completion order,
+// and every random draw derives from -seed, so reports are identical
+// for any worker count.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"flexsfp"
+	"flexsfp/internal/runner"
 )
+
+// experiment is one selectable section: run computes a human-readable
+// report plus a metrics value for the -json blob.
+type experiment struct {
+	name string
+	run  func() (render string, metrics any, err error)
+}
+
+// jsonExperiment is one entry of the -json results blob.
+type jsonExperiment struct {
+	Name    string  `json:"name"`
+	WallMs  float64 `json:"wall_ms"`
+	Metrics any     `json:"metrics"`
+}
+
+// jsonReport is the top-level -json blob, stable enough to diff across
+// runs (BENCH_*.json tracking).
+type jsonReport struct {
+	Seed        int64            `json:"seed"`
+	Trials      int              `json:"trials"`
+	Parallel    int              `json:"parallel"`
+	WallMs      float64          `json:"wall_ms"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
 
 func main() {
 	runList := flag.String("run", "all", "comma-separated experiments to run (all, table1, table2, table3, power, linerate, arch, scale, gap, reliability, formfactor, latency, retrofit)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	trials := flag.Int("trials", 1, "independent seeds per stochastic experiment (>1 reports mean ± 95% CI)")
+	parallel := flag.Int("parallel", 0, "max concurrent workers (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON results blob instead of tables")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -31,80 +69,128 @@ func main() {
 	}
 	all := want["all"]
 	selected := func(name string) bool { return all || want[name] }
-	ran := 0
 
-	fail := func(name string, err error) {
-		fmt.Fprintf(os.Stderr, "flexsfp-bench: %s: %v\n", name, err)
-		os.Exit(1)
-	}
-	section := func(body string) {
-		fmt.Println(body)
-		ran++
-	}
-
-	if selected("table1") {
-		section(flexsfp.Table1().Render())
-	}
-	if selected("table2") {
-		section(flexsfp.Table2().Render())
-	}
-	if selected("table3") {
-		section(flexsfp.Table3().Render())
-	}
-	if selected("power") {
-		r, err := flexsfp.PowerExperiment(*seed)
-		if err != nil {
-			fail("power", err)
-		}
-		section(r.Render())
-	}
-	if selected("linerate") {
-		r, err := flexsfp.LineRateExperiment(*seed)
-		if err != nil {
-			fail("linerate", err)
-		}
-		section(r.Render())
-	}
-	if selected("arch") {
-		r, err := flexsfp.ArchitectureExperiment(*seed)
-		if err != nil {
-			fail("arch", err)
-		}
-		section(r.Render())
-	}
-	if selected("scale") {
-		section(flexsfp.ScalabilityExperiment().Render())
-	}
-	if selected("gap") {
-		r, err := flexsfp.AccelerationGapExperiment(*seed)
-		if err != nil {
-			fail("gap", err)
-		}
-		section(r.Render())
-	}
-	if selected("reliability") {
-		section(flexsfp.ReliabilityExperiment(*seed).Render())
-	}
-	if selected("formfactor") {
-		section(flexsfp.FormFactorExperiment().Render())
-	}
-	if selected("retrofit") {
-		r, err := flexsfp.RetrofitEconomicsExperiment()
-		if err != nil {
-			fail("retrofit", err)
-		}
-		section(r.Render())
-	}
-	if selected("latency") {
-		r, err := flexsfp.LatencyOverheadExperiment()
-		if err != nil {
-			fail("latency", err)
-		}
-		section(r.Render())
+	// The stochastic experiments switch to their multi-seed variants when
+	// -trials asks for more than one.
+	multi := *trials > 1
+	catalog := []experiment{
+		{"table1", func() (string, any, error) {
+			r := flexsfp.Table1()
+			return r.Render(), r, nil
+		}},
+		{"table2", func() (string, any, error) {
+			r := flexsfp.Table2()
+			return r.Render(), r, nil
+		}},
+		{"table3", func() (string, any, error) {
+			r := flexsfp.Table3()
+			return r.Render(), r, nil
+		}},
+		{"power", func() (string, any, error) {
+			if multi {
+				r, err := flexsfp.PowerExperimentTrials(*seed, *trials, *parallel)
+				return r.Render(), r, err
+			}
+			r, err := flexsfp.PowerExperiment(*seed)
+			return r.Render(), r, err
+		}},
+		{"linerate", func() (string, any, error) {
+			if multi {
+				r, err := flexsfp.LineRateExperimentTrials(*seed, *trials, *parallel)
+				return r.Render(), r, err
+			}
+			r, err := flexsfp.LineRateExperiment(*seed)
+			return r.Render(), r, err
+		}},
+		{"arch", func() (string, any, error) {
+			r, err := flexsfp.ArchitectureExperiment(*seed)
+			return r.Render(), r, err
+		}},
+		{"scale", func() (string, any, error) {
+			r := flexsfp.ScalabilityExperiment()
+			return r.Render(), r, nil
+		}},
+		{"gap", func() (string, any, error) {
+			r, err := flexsfp.AccelerationGapExperiment(*seed)
+			return r.Render(), r, err
+		}},
+		{"reliability", func() (string, any, error) {
+			if multi {
+				r := flexsfp.ReliabilityExperimentTrials(*seed, *trials, *parallel)
+				return r.Render(), r, nil
+			}
+			r := flexsfp.ReliabilityExperiment(*seed)
+			return r.Render(), r, nil
+		}},
+		{"formfactor", func() (string, any, error) {
+			r := flexsfp.FormFactorExperiment()
+			return r.Render(), r, nil
+		}},
+		{"retrofit", func() (string, any, error) {
+			r, err := flexsfp.RetrofitEconomicsExperiment()
+			return r.Render(), r, err
+		}},
+		{"latency", func() (string, any, error) {
+			r, err := flexsfp.LatencyOverheadExperiment()
+			return r.Render(), r, err
+		}},
 	}
 
-	if ran == 0 {
+	var chosen []experiment
+	for _, e := range catalog {
+		if selected(e.name) {
+			chosen = append(chosen, e)
+		}
+	}
+	if len(chosen) == 0 {
 		fmt.Fprintf(os.Stderr, "flexsfp-bench: no experiment matched -run=%s\n", *runList)
 		os.Exit(2)
+	}
+
+	// Run the selected experiments concurrently; each slot records its own
+	// render, metrics, and wall time, and output stays in catalog order.
+	renders := make([]string, len(chosen))
+	metrics := make([]jsonExperiment, len(chosen))
+	jobs := make([]func() error, len(chosen))
+	for i, e := range chosen {
+		jobs[i] = func() error {
+			start := time.Now()
+			render, m, err := e.run()
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+			renders[i] = render
+			metrics[i] = jsonExperiment{
+				Name:    e.name,
+				WallMs:  float64(time.Since(start).Microseconds()) / 1000,
+				Metrics: m,
+			}
+			return nil
+		}
+	}
+	start := time.Now()
+	if err := runner.Run(runner.Options{Parallelism: *parallel}, jobs...); err != nil {
+		fmt.Fprintf(os.Stderr, "flexsfp-bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		blob := jsonReport{
+			Seed:        *seed,
+			Trials:      *trials,
+			Parallel:    *parallel,
+			WallMs:      float64(time.Since(start).Microseconds()) / 1000,
+			Experiments: metrics,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(blob); err != nil {
+			fmt.Fprintf(os.Stderr, "flexsfp-bench: encode: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, r := range renders {
+		fmt.Println(r)
 	}
 }

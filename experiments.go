@@ -2,6 +2,7 @@ package flexsfp
 
 import (
 	"fmt"
+	"math/rand"
 
 	"flexsfp/internal/apps"
 	"flexsfp/internal/cost"
@@ -9,6 +10,7 @@ import (
 	"flexsfp/internal/hls"
 	"flexsfp/internal/netsim"
 	"flexsfp/internal/power"
+	"flexsfp/internal/runner"
 	"flexsfp/internal/trafficgen"
 )
 
@@ -84,20 +86,24 @@ type Table2Result struct {
 }
 
 // Table2 normalizes the cited designs and checks them against the
-// FlexSFP's device.
+// FlexSFP's device. Rows are independent, so they are evaluated across
+// workers; the merge is by design index, so the table order never
+// depends on scheduling.
 func Table2() Table2Result {
-	res := Table2Result{Device: fpga.MPF200T}
-	for _, d := range fpga.LiteratureDesigns() {
-		fits, limiting := d.FitsDevice(fpga.MPF200T)
-		res.Rows = append(res.Rows, Table2Row{
-			Name:      d.Name,
-			LogicLE:   d.NormalizedLE(),
-			BRAMKbits: d.BRAMKbits,
-			Fits:      fits,
-			Limiting:  limiting,
+	designs := fpga.LiteratureDesigns()
+	rows, _ := runner.Map(len(designs), runner.Options{},
+		func(i int, _ *rand.Rand) (Table2Row, error) {
+			d := designs[i]
+			fits, limiting := d.FitsDevice(fpga.MPF200T)
+			return Table2Row{
+				Name:      d.Name,
+				LogicLE:   d.NormalizedLE(),
+				BRAMKbits: d.BRAMKbits,
+				Fits:      fits,
+				Limiting:  limiting,
+			}, nil
 		})
-	}
-	return res
+	return Table2Result{Rows: rows, Device: fpga.MPF200T}
 }
 
 // Render formats the result like the paper's table plus fit verdicts.
@@ -182,8 +188,10 @@ func PowerExperiment(seed int64) (PowerResult, error) {
 	if err != nil {
 		return PowerResult{}, err
 	}
-	mod.SetTx(0, func([]byte) {})
-	mod.SetTx(1, func([]byte) {})
+	// Recycle frames at the Tx sinks: the generator draws its buffers
+	// from the pool, so the steady state allocates nothing per frame.
+	mod.SetTx(0, trafficgen.PutBuffer)
+	mod.SetTx(1, trafficgen.PutBuffer)
 
 	// Bidirectional line-rate minimum-size stress for 1 ms of sim time.
 	pps := 14_880_952.0
@@ -246,17 +254,15 @@ type LineRateResult struct {
 	Points []LineRatePoint
 }
 
-// LineRateExperiment drives the NAT module at 10G line rate across frame
-// sizes (the §5.1 "simple end-to-end test, which confirmed line-rate
-// performance").
-func LineRateExperiment(seed int64) (LineRateResult, error) {
-	var res LineRateResult
-	type c struct {
-		label string
-		sizes []trafficgen.IMIXEntry
-		size  int
-	}
-	cases := []c{
+// lineRateCase is one frame-size configuration of the sweep.
+type lineRateCase struct {
+	label string
+	sizes []trafficgen.IMIXEntry
+	size  int
+}
+
+func lineRateCases() []lineRateCase {
+	return []lineRateCase{
 		{"64B", []trafficgen.IMIXEntry{{Size: 64, Weight: 1}}, 64},
 		{"128B", []trafficgen.IMIXEntry{{Size: 128, Weight: 1}}, 128},
 		{"256B", []trafficgen.IMIXEntry{{Size: 256, Weight: 1}}, 256},
@@ -265,61 +271,82 @@ func LineRateExperiment(seed int64) (LineRateResult, error) {
 		{"1518B", []trafficgen.IMIXEntry{{Size: 1518, Weight: 1}}, 1518},
 		{"IMIX", trafficgen.SimpleIMIX(), 0},
 	}
-	for _, tc := range cases {
-		sim := NewSim(seed)
-		mod, _, err := BuildModule(sim, ModuleSpec{
-			Name: "lr-dut", DeviceID: 1, Shell: TwoWayCore, App: "nat",
-			Config: apps.NATConfig{Mappings: []apps.NATMapping{
-				{Internal: "10.1.0.1", External: "203.0.113.1"},
-			}},
-		})
-		if err != nil {
-			return res, err
-		}
-		meter := netsim.NewRateMeter(sim)
-		mod.SetTx(1, func(b []byte) { meter.Observe(len(b)) })
-		mod.SetTx(0, func([]byte) {})
+}
 
-		// Offered rate: line rate for the mean frame size of the mix.
-		mean := 64.0
-		if tc.size > 0 {
-			mean = float64(tc.size)
-		} else {
-			total, weight := 0, 0
-			for _, e := range tc.sizes {
-				total += e.Size * e.Weight
-				weight += e.Weight
-			}
-			mean = float64(total) / float64(weight)
-		}
-		pps := 10e9 / ((mean + 20) * 8)
-		// Traffic reaches the module through an actual 10G wire: the
-		// link's serialization enforces the physical per-frame spacing a
-		// real tester is bound by (a mean-paced generator would otherwise
-		// burst mixed-size traffic above wire rate).
-		wire := netsim.NewLink(sim, 10_000_000_000, 0, mod.RxEdge)
-		gen := trafficgen.New(sim, trafficgen.Config{
-			PPS: pps, Sizes: tc.sizes, Flows: 32,
-		}, func(b []byte) bool {
-			return wire.Send(b)
-		})
-		gen.Run(0)
-		sim.RunFor(netsim.Millisecond)
-		gen.Stop()
-		sim.RunFor(100 * netsim.Microsecond)
-
-		deliveredPPS := float64(meter.Frames) / netsim.Duration(netsim.Millisecond).Seconds()
-		res.Points = append(res.Points, LineRatePoint{
-			Label:        tc.label,
-			FrameSize:    tc.size,
-			OfferedPPS:   float64(gen.Sent) / netsim.Duration(netsim.Millisecond).Seconds(),
-			DeliveredPPS: deliveredPPS,
-			GoodputGbps:  float64(meter.Bytes) * 8 / netsim.Duration(netsim.Millisecond).Seconds() / 1e9,
-			Drops:        mod.Engine().Stats().QueueDrop,
-			LineRate:     mod.Engine().Stats().QueueDrop == 0,
-		})
+// runLineRateCase measures one frame-size point on its own simulator.
+func runLineRateCase(seed int64, tc lineRateCase) (LineRatePoint, error) {
+	sim := NewSim(seed)
+	mod, _, err := BuildModule(sim, ModuleSpec{
+		Name: "lr-dut", DeviceID: 1, Shell: TwoWayCore, App: "nat",
+		Config: apps.NATConfig{Mappings: []apps.NATMapping{
+			{Internal: "10.1.0.1", External: "203.0.113.1"},
+		}},
+	})
+	if err != nil {
+		return LineRatePoint{}, err
 	}
-	return res, nil
+	meter := netsim.NewRateMeter(sim)
+	mod.SetTx(1, func(b []byte) {
+		meter.Observe(len(b))
+		trafficgen.PutBuffer(b)
+	})
+	mod.SetTx(0, trafficgen.PutBuffer)
+
+	// Offered rate: line rate for the mean frame size of the mix.
+	mean := 64.0
+	if tc.size > 0 {
+		mean = float64(tc.size)
+	} else {
+		total, weight := 0, 0
+		for _, e := range tc.sizes {
+			total += e.Size * e.Weight
+			weight += e.Weight
+		}
+		mean = float64(total) / float64(weight)
+	}
+	pps := 10e9 / ((mean + 20) * 8)
+	// Traffic reaches the module through an actual 10G wire: the
+	// link's serialization enforces the physical per-frame spacing a
+	// real tester is bound by (a mean-paced generator would otherwise
+	// burst mixed-size traffic above wire rate).
+	wire := netsim.NewLink(sim, 10_000_000_000, 0, mod.RxEdge)
+	gen := trafficgen.New(sim, trafficgen.Config{
+		PPS: pps, Sizes: tc.sizes, Flows: 32,
+	}, func(b []byte) bool {
+		return wire.Send(b)
+	})
+	gen.Run(0)
+	sim.RunFor(netsim.Millisecond)
+	gen.Stop()
+	sim.RunFor(100 * netsim.Microsecond)
+
+	deliveredPPS := float64(meter.Frames) / netsim.Duration(netsim.Millisecond).Seconds()
+	return LineRatePoint{
+		Label:        tc.label,
+		FrameSize:    tc.size,
+		OfferedPPS:   float64(gen.Sent) / netsim.Duration(netsim.Millisecond).Seconds(),
+		DeliveredPPS: deliveredPPS,
+		GoodputGbps:  float64(meter.Bytes) * 8 / netsim.Duration(netsim.Millisecond).Seconds() / 1e9,
+		Drops:        mod.Engine().Stats().QueueDrop,
+		LineRate:     mod.Engine().Stats().QueueDrop == 0,
+	}, nil
+}
+
+// LineRateExperiment drives the NAT module at 10G line rate across frame
+// sizes (the §5.1 "simple end-to-end test, which confirmed line-rate
+// performance"). Each case runs on its own simulator with the same seed,
+// so the cases fan out across workers and the sweep matches the old
+// sequential loop exactly.
+func LineRateExperiment(seed int64) (LineRateResult, error) {
+	cases := lineRateCases()
+	points, err := runner.Map(len(cases), runner.Options{Seed: seed},
+		func(i int, _ *rand.Rand) (LineRatePoint, error) {
+			return runLineRateCase(seed, cases[i])
+		})
+	if err != nil {
+		return LineRateResult{}, err
+	}
+	return LineRateResult{Points: points}, nil
 }
 
 // Render formats the sweep.

@@ -2,6 +2,7 @@ package flexsfp
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"flexsfp/internal/apps"
@@ -12,6 +13,7 @@ import (
 	"flexsfp/internal/netsim"
 	"flexsfp/internal/phy"
 	"flexsfp/internal/reliability"
+	"flexsfp/internal/runner"
 	"flexsfp/internal/trafficgen"
 )
 
@@ -66,8 +68,8 @@ func ArchitectureExperiment(seed int64) (ArchitectureResult, error) {
 			return res, err
 		}
 		var delivered uint64
-		mod.SetTx(0, func([]byte) { delivered++ })
-		mod.SetTx(1, func([]byte) { delivered++ })
+		mod.SetTx(0, func(b []byte) { delivered++; trafficgen.PutBuffer(b) })
+		mod.SetTx(1, func(b []byte) { delivered++; trafficgen.PutBuffer(b) })
 
 		pps := phy.LineRatePPS(phy.DataRateBps, 64)
 		var offered uint64
@@ -152,15 +154,27 @@ type ScalabilityResult struct {
 
 // ScalabilityExperiment sweeps the PPE design space: scaling by widening
 // the datapath and/or raising the clock, with the resource, timing, and
-// thermal consequences §5.3 describes.
+// thermal consequences §5.3 describes. The grid points are independent
+// design evaluations, so they fan out across workers and merge back in
+// grid order.
 func ScalabilityExperiment() ScalabilityResult {
-	var res ScalabilityResult
 	prog := apps.NewNAT().Program()
 	widths := []int{64, 128, 256, 512}
 	clocks := []int64{BaseClockHz, 2 * BaseClockHz, 400_000_000}
 	rates := []int{10, 25, 40, 50, 100}
+	type gridCell struct {
+		w int
+		c int64
+	}
+	var grid []gridCell
 	for _, w := range widths {
 		for _, c := range clocks {
+			grid = append(grid, gridCell{w, c})
+		}
+	}
+	points, _ := runner.Map(len(grid), runner.Options{},
+		func(i int, _ *rand.Rand) (ScalePoint, error) {
+			w, c := grid[i].w, grid[i].c
 			// Min-frame capacity: ceil(64/wordBytes)+1 cycles per frame.
 			wordBytes := w / 8
 			cycles := float64((64+wordBytes-1)/wordBytes + 1)
@@ -184,7 +198,7 @@ func ScalabilityExperiment() ScalabilityResult {
 				timingOK = dev.ClockFeasible(float64(c)/1e6, util, w)
 			}
 			peak := core.PeakPowerW(c, w, hls.TwoWayCore)
-			res.Points = append(res.Points, ScalePoint{
+			return ScalePoint{
 				DatapathBits: w,
 				ClockMHz:     float64(c) / 1e6,
 				CapacityGbps: capGbps,
@@ -194,10 +208,9 @@ func ScalabilityExperiment() ScalabilityResult {
 				TimingOK:     timingOK,
 				PeakW:        peak,
 				Thermal:      peak <= core.ThermalEnvelopeW,
-			})
-		}
-	}
-	return res
+			}, nil
+		})
+	return ScalabilityResult{Points: points}
 }
 
 // Render formats the sweep.

@@ -1,0 +1,177 @@
+package flexsfp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flexsfp/internal/reliability"
+	"flexsfp/internal/runner"
+)
+
+// ---------------------------------------------------------------------------
+// Multi-trial experiment variants: instead of a single-seed point
+// estimate, run N independent seeds in parallel (seed for trial t is
+// runner.TrialSeed(rootSeed, t)) and report mean ± stddev with a 95% CI.
+// Results are bit-identical for any worker count; reproduce trial t alone
+// by running the single-seed experiment with its derived seed.
+
+// fmtCI renders "mean ± ci95" the way the trial tables print metrics.
+func fmtCI(s runner.Summary, digits int) string {
+	return fmt.Sprintf("%.*f ± %.*f", digits, s.Mean, digits, s.CI95())
+}
+
+// PowerTrialsResult is the §5 power experiment over many seeds.
+type PowerTrialsResult struct {
+	Trials int
+
+	NICOnlyW    runner.Summary
+	WithSFPW    runner.Summary
+	WithFlexW   runner.Summary
+	DeltaFlexW  runner.Summary
+	Utilization runner.Summary
+
+	// Paper values for comparison.
+	PaperNICOnly, PaperWithSFP, PaperWithFlex float64
+}
+
+// PowerExperimentTrials runs the §5 power procedure for trials seeds in
+// parallel (workers bounded by parallelism; 0 = GOMAXPROCS).
+func PowerExperimentTrials(rootSeed int64, trials, parallelism int) (PowerTrialsResult, error) {
+	if trials <= 0 {
+		trials = 1
+	}
+	results, err := runner.Map(trials,
+		runner.Options{Seed: rootSeed, Parallelism: parallelism},
+		func(trial int, _ *rand.Rand) (PowerResult, error) {
+			return PowerExperiment(runner.TrialSeed(rootSeed, trial))
+		})
+	if err != nil {
+		return PowerTrialsResult{}, err
+	}
+	return PowerTrialsResult{
+		Trials:       trials,
+		NICOnlyW:     runner.Collect(results, func(r PowerResult) float64 { return r.Report.NICOnly.MeanW }),
+		WithSFPW:     runner.Collect(results, func(r PowerResult) float64 { return r.Report.WithSFP.MeanW }),
+		WithFlexW:    runner.Collect(results, func(r PowerResult) float64 { return r.Report.WithFlex.MeanW }),
+		DeltaFlexW:   runner.Collect(results, func(r PowerResult) float64 { return r.Report.DeltaFlex }),
+		Utilization:  runner.Collect(results, func(r PowerResult) float64 { return r.FlexUtilization }),
+		PaperNICOnly: results[0].PaperNICOnly, PaperWithSFP: results[0].PaperWithSFP,
+		PaperWithFlex: results[0].PaperWithFlex,
+	}, nil
+}
+
+// Render formats the multi-seed power report.
+func (r PowerTrialsResult) Render() string {
+	t := newTable("Step", "Model (W, mean ± 95% CI)", "Paper (W)")
+	t.add("NIC only", fmtCI(r.NICOnlyW, 3), fmt.Sprintf("%.3f", r.PaperNICOnly))
+	t.add("NIC + SFP (stress)", fmtCI(r.WithSFPW, 3), fmt.Sprintf("%.3f", r.PaperWithSFP))
+	t.add("NIC + FlexSFP (stress)", fmtCI(r.WithFlexW, 3), fmt.Sprintf("%.3f", r.PaperWithFlex))
+	out := fmt.Sprintf("Power measurement (§5): %d trials\n", r.Trials) + t.String()
+	out += fmt.Sprintf("FlexSFP delta %s W; PPE utilization %s\n",
+		fmtCI(r.DeltaFlexW, 3), fmtCI(r.Utilization, 2))
+	return out
+}
+
+// LineRatePointTrials is one frame-size point across seeds.
+type LineRatePointTrials struct {
+	Label        string
+	FrameSize    int // 0 for IMIX
+	OfferedPPS   runner.Summary
+	DeliveredPPS runner.Summary
+	GoodputGbps  runner.Summary
+	Drops        runner.Summary
+	// LineRateAll is true when every trial sustained line rate.
+	LineRateAll bool
+}
+
+// LineRateTrialsResult is the §5.1 sweep over many seeds.
+type LineRateTrialsResult struct {
+	Trials int
+	Points []LineRatePointTrials
+}
+
+// LineRateExperimentTrials runs the line-rate sweep for trials seeds in
+// parallel and reduces per frame-size point.
+func LineRateExperimentTrials(rootSeed int64, trials, parallelism int) (LineRateTrialsResult, error) {
+	if trials <= 0 {
+		trials = 1
+	}
+	results, err := runner.Map(trials,
+		runner.Options{Seed: rootSeed, Parallelism: parallelism},
+		func(trial int, _ *rand.Rand) (LineRateResult, error) {
+			return LineRateExperiment(runner.TrialSeed(rootSeed, trial))
+		})
+	if err != nil {
+		return LineRateTrialsResult{}, err
+	}
+	res := LineRateTrialsResult{Trials: trials}
+	for p := range results[0].Points {
+		pt := LineRatePointTrials{
+			Label:        results[0].Points[p].Label,
+			FrameSize:    results[0].Points[p].FrameSize,
+			OfferedPPS:   runner.Collect(results, func(r LineRateResult) float64 { return r.Points[p].OfferedPPS }),
+			DeliveredPPS: runner.Collect(results, func(r LineRateResult) float64 { return r.Points[p].DeliveredPPS }),
+			GoodputGbps:  runner.Collect(results, func(r LineRateResult) float64 { return r.Points[p].GoodputGbps }),
+			Drops:        runner.Collect(results, func(r LineRateResult) float64 { return float64(r.Points[p].Drops) }),
+			LineRateAll:  true,
+		}
+		for _, r := range results {
+			if !r.Points[p].LineRate {
+				pt.LineRateAll = false
+			}
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Render formats the multi-seed sweep.
+func (r LineRateTrialsResult) Render() string {
+	t := newTable("Frames", "Offered (Mpps)", "Delivered (Mpps)", "Goodput (Gb/s)", "Line rate?")
+	for _, p := range r.Points {
+		ok := "yes"
+		if !p.LineRateAll {
+			ok = "NO"
+		}
+		t.add(p.Label,
+			fmt.Sprintf("%.3f ± %.3f", p.OfferedPPS.Mean/1e6, p.OfferedPPS.CI95()/1e6),
+			fmt.Sprintf("%.3f ± %.3f", p.DeliveredPPS.Mean/1e6, p.DeliveredPPS.CI95()/1e6),
+			fmt.Sprintf("%.3f ± %.3f", p.GoodputGbps.Mean, p.GoodputGbps.CI95()),
+			ok)
+	}
+	return fmt.Sprintf("Line-rate verification (§5.1): NAT at 10 Gb/s, %d trials\n", r.Trials) + t.String()
+}
+
+// ReliabilityTrialsResult wraps the multi-seed fleet report.
+type ReliabilityTrialsResult struct {
+	Report reliability.FleetTrialsReport
+	Config reliability.FleetConfig
+}
+
+// ReliabilityExperimentTrials runs the 10k-module fleet for trials seeds
+// in parallel.
+func ReliabilityExperimentTrials(rootSeed int64, trials, parallelism int) ReliabilityTrialsResult {
+	cfg := reliability.DefaultFleet()
+	return ReliabilityTrialsResult{
+		Report: reliability.RunFleetTrials(rootSeed, trials, reliability.DefaultVCSEL(), cfg, parallelism),
+		Config: cfg,
+	}
+}
+
+// Render formats the multi-seed fleet report.
+func (r ReliabilityTrialsResult) Render() string {
+	rep := r.Report
+	t := newTable("Metric", "Mean ± 95% CI")
+	t.add("Fleet size", rep.Modules)
+	t.add("Trials", rep.Trials)
+	t.add("Laser failures in horizon", fmtCI(rep.Failures, 1))
+	t.add("Detected early via DDM", fmtCI(rep.DetectedEarly, 1))
+	t.add("Sampled MTTF (years)", fmtCI(rep.MTTFYears, 2))
+	t.add("TTF p10 (years)", fmtCI(rep.P10Years, 2))
+	t.add("TTF p90 (years)", fmtCI(rep.P90Years, 2))
+	t.add("Std SFP module swaps ($)", fmtCI(rep.StandardSwapCostUSD, 0))
+	t.add("FlexSFP module swaps ($)", fmtCI(rep.FlexModuleSwapCostUSD, 0))
+	t.add("FlexSFP laser repairs ($)", fmtCI(rep.FlexLaserRepairUSD, 0))
+	t.add("Laser-repair saving", fmtCI(rep.LaserRepairSavingFrac, 3))
+	return "Reliability (§5.3): VCSEL wear-out fleet, multi-seed\n" + t.String()
+}

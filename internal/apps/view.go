@@ -160,12 +160,12 @@ func (v *view) l4ChecksumOffset() int {
 // rewriteIPv4Addr replaces the 4-byte address at addrOff, fixing the IPv4
 // header checksum and the L4 pseudo-header checksum.
 func (v *view) rewriteIPv4Addr(addrOff int, newAddr []byte) {
-	old := make([]byte, 4)
-	copy(old, v.data[addrOff:addrOff+4])
+	var old [4]byte // stack copy: this runs once per translated packet
+	copy(old[:], v.data[addrOff:addrOff+4])
 	copy(v.data[addrOff:addrOff+4], newAddr)
-	csumUpdate32(v.data, v.l3Off+10, old, newAddr)
+	csumUpdate32(v.data, v.l3Off+10, old[:], newAddr)
 	if at := v.l4ChecksumOffset(); at >= 0 {
-		csumUpdate32(v.data, at, old, newAddr)
+		csumUpdate32(v.data, at, old[:], newAddr)
 	}
 }
 

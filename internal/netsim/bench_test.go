@@ -1,0 +1,49 @@
+package netsim
+
+import "testing"
+
+// BenchmarkScheduleFire measures the steady-state event loop: one event in
+// flight at a time, each firing schedules the next (the pattern of the
+// trafficgen emit loop and the PPE verdict path). With the event free-list
+// this runs allocation-free after warm-up.
+func BenchmarkScheduleFire(b *testing.B) {
+	sim := New(1)
+	b.ReportAllocs()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			sim.ScheduleDetached(10, tick)
+		}
+	}
+	sim.ScheduleDetached(10, tick)
+	b.ResetTimer()
+	sim.Run()
+}
+
+// BenchmarkScheduleBurst measures heap behavior with a deep pending queue:
+// 1024 events scheduled at once, then drained.
+func BenchmarkScheduleBurst(b *testing.B) {
+	sim := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1024; j++ {
+			sim.ScheduleDetached(Duration(j%64), fn)
+		}
+		sim.Run()
+	}
+}
+
+// BenchmarkScheduleHandle measures the handle-returning Schedule path
+// (cancelable events are never pooled).
+func BenchmarkScheduleHandle(b *testing.B) {
+	sim := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim.Schedule(1, fn)
+		sim.Run()
+	}
+}

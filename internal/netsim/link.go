@@ -103,12 +103,12 @@ func (l *Link) Send(data []byte) bool {
 		l.queued++
 	}
 	txDone := Time(ceilDiv(txDonePs, 1000))
-	l.sim.ScheduleAt(txDone, func() {
+	l.sim.ScheduleAtDetached(txDone, func() {
 		// Frame has left the transmitter.
 		l.stats.TxFrames++
 		l.stats.TxBytes += uint64(len(data))
 	})
-	l.sim.ScheduleAt(txDone.Add(l.Prop), func() {
+	l.sim.ScheduleAtDetached(txDone.Add(l.Prop), func() {
 		if l.queued > 0 {
 			l.queued--
 		}

@@ -65,7 +65,8 @@ type Event struct {
 	seq      uint64 // tie-breaker: FIFO among same-time events
 	fn       func()
 	canceled bool
-	index    int // heap index, -1 once popped
+	pooled   bool // recycled onto the simulator free-list after firing
+	index    int  // heap index, -1 once popped
 }
 
 // At returns the simulated time at which the event is scheduled to fire.
@@ -114,6 +115,13 @@ type Simulator struct {
 	seq    uint64
 	rng    *rand.Rand
 	fired  uint64
+
+	// free recycles fired detached events. Only events scheduled through
+	// the *Detached entry points land here: their callers hold no *Event,
+	// so reusing the object cannot alias a live handle. The simulator is
+	// single-threaded, so a plain slice beats sync.Pool (no per-P
+	// shards, no GC clearing).
+	free []*Event
 }
 
 // New returns a simulator whose clock starts at zero and whose random
@@ -148,10 +156,40 @@ func (s *Simulator) Schedule(d Duration, fn func()) *Event {
 // ScheduleAt runs fn at absolute simulated time t. Times in the past are
 // clamped to the current time.
 func (s *Simulator) ScheduleAt(t Time, fn func()) *Event {
+	return s.schedule(t, fn, false)
+}
+
+// ScheduleDetached runs fn after delay d like Schedule, but returns no
+// handle: the event cannot be canceled, and its Event object is recycled
+// after it fires. This is the allocation-free path every per-frame
+// schedule (engine verdicts, generator emission, link delivery) uses.
+func (s *Simulator) ScheduleDetached(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.schedule(s.now.Add(d), fn, true)
+}
+
+// ScheduleAtDetached is ScheduleAt without a handle; see ScheduleDetached.
+func (s *Simulator) ScheduleAtDetached(t Time, fn func()) {
+	s.schedule(t, fn, true)
+}
+
+func (s *Simulator) schedule(t Time, fn func(), pooled bool) *Event {
 	if t < s.now {
 		t = s.now
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
+	var e *Event
+	if n := len(s.free); pooled && n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.at, e.fn, e.canceled = t, fn, false
+	} else {
+		e = &Event{at: t, fn: fn}
+	}
+	e.seq = s.seq
+	e.pooled = pooled
 	s.seq++
 	heap.Push(&s.events, e)
 	return e
@@ -168,6 +206,12 @@ func (s *Simulator) Step() bool {
 		s.now = e.at
 		s.fired++
 		e.fn()
+		if e.pooled {
+			// Recycle only after fn returns: anything fn scheduled has
+			// already taken its own Event, so no live reference remains.
+			e.fn = nil
+			s.free = append(s.free, e)
+		}
 		return true
 	}
 	return false

@@ -240,3 +240,67 @@ func TestEventOrderProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDetachedSchedulingOrderAndRecycle(t *testing.T) {
+	sim := New(1)
+	var order []int
+	sim.ScheduleDetached(30, func() { order = append(order, 3) })
+	sim.ScheduleDetached(10, func() { order = append(order, 1) })
+	sim.Schedule(20, func() { order = append(order, 2) })
+	sim.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	// Recycled events must preserve FIFO among same-time events and keep
+	// firing the right callbacks across many reuse generations.
+	n := 0
+	var chain func()
+	chain = func() {
+		n++
+		if n < 1000 {
+			sim.ScheduleDetached(1, chain)
+		}
+	}
+	sim.ScheduleDetached(1, chain)
+	sim.Run()
+	if n != 1000 {
+		t.Fatalf("chain fired %d times", n)
+	}
+}
+
+func TestDetachedSameTimeFIFOWithRecycling(t *testing.T) {
+	sim := New(1)
+	// Populate the free list.
+	for i := 0; i < 8; i++ {
+		sim.ScheduleDetached(Duration(i), func() {})
+	}
+	sim.Run()
+	// Same-time events scheduled from recycled objects must still fire in
+	// scheduling order (seq is reassigned on reuse).
+	var order []int
+	for i := 0; i < 8; i++ {
+		i := i
+		sim.ScheduleDetached(5, func() { order = append(order, i) })
+	}
+	sim.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestDetachedDoesNotRecycleHandles(t *testing.T) {
+	sim := New(1)
+	// A canceled handle event must stay canceled even if detached events
+	// churn the free list around it.
+	ev := sim.Schedule(50, func() { t.Fatal("canceled event fired") })
+	for i := 0; i < 32; i++ {
+		sim.ScheduleDetached(Duration(i), func() {})
+	}
+	ev.Cancel()
+	sim.Run()
+	if !ev.Canceled() {
+		t.Fatal("handle lost cancellation")
+	}
+}

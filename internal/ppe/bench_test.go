@@ -1,0 +1,51 @@
+package ppe
+
+import (
+	"testing"
+
+	"flexsfp/internal/netsim"
+)
+
+// BenchmarkEngineSubmit measures the engine hot path in isolation:
+// submit → cycle accounting → scheduled verdict → handler, one frame in
+// flight at a time.
+func BenchmarkEngineSubmit(b *testing.B) {
+	sim := netsim.New(1)
+	e := NewEngine(sim, 156_250_000, 64, nil)
+	if err := e.SetProgram(&Program{
+		Name:    "pass",
+		Stages:  1,
+		Handler: HandlerFunc(func(ctx *Ctx) Verdict { return VerdictPass }),
+	}); err != nil {
+		b.Fatal(err)
+	}
+	frame := make([]byte, 64)
+	b.ReportAllocs()
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		e.Submit(frame, DirEdgeToOptical)
+		sim.Run()
+	}
+}
+
+// BenchmarkEngineSubmitQueued measures the queued path: a burst fills the
+// input queue so each Submit also schedules a queue-release event.
+func BenchmarkEngineSubmitQueued(b *testing.B) {
+	sim := netsim.New(1)
+	e := NewEngine(sim, 156_250_000, 64, nil)
+	if err := e.SetProgram(&Program{
+		Name:    "pass",
+		Stages:  1,
+		Handler: HandlerFunc(func(ctx *Ctx) Verdict { return VerdictPass }),
+	}); err != nil {
+		b.Fatal(err)
+	}
+	frame := make([]byte, 64)
+	b.ReportAllocs()
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		e.Submit(frame, DirEdgeToOptical)
+		e.Submit(frame, DirEdgeToOptical)
+		sim.Run()
+	}
+}

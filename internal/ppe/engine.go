@@ -30,6 +30,7 @@ type Engine struct {
 	busyUntilPs int64
 	busyPs      int64 // accumulated busy picoseconds (for utilization)
 	queued      int
+	release     func() // cached queue-slot release callback (no per-frame closure)
 
 	stats EngineStats
 }
@@ -55,12 +56,14 @@ func NewEngine(sim *netsim.Simulator, clockHz int64, datapathBits int, out func(
 	if datapathBits < 8 {
 		panic("ppe: datapath narrower than one byte")
 	}
-	return &Engine{
+	e := &Engine{
 		sim:          sim,
 		clockHz:      clockHz,
 		datapathBits: datapathBits,
 		out:          out,
 	}
+	e.release = func() { e.queued-- }
+	return e
 }
 
 // SetProgram loads (or replaces, on reconfiguration) the program.
@@ -152,17 +155,19 @@ func (e *Engine) Submit(data []byte, dir Direction) bool {
 	e.busyUntilPs = startPs + servicePs
 	e.busyPs += servicePs
 	if startPs > nowPs {
+		// The frame waits for the pipeline input until its own occupancy
+		// ends; release the queue slot then, not at verdict time. Counting
+		// the extra pipeline-depth cycles would overstate queue depth and
+		// queue-drop bursty arrivals that the real input buffer absorbs.
 		e.queued++
+		e.sim.ScheduleAtDetached(netsim.Time((e.busyUntilPs+999)/1000), e.release)
 	}
 	e.stats.In++
 	e.stats.InBytes += uint64(len(data))
 
 	ctx := &Ctx{Data: data, Dir: dir, TimestampNs: uint64(e.sim.Now())}
 	donePs := e.busyUntilPs + int64(e.depth)*e.cyclePs()
-	e.sim.ScheduleAt(netsim.Time((donePs+999)/1000), func() {
-		if e.queued > 0 {
-			e.queued--
-		}
+	e.sim.ScheduleAtDetached(netsim.Time((donePs+999)/1000), func() {
 		v := e.prog.Handler.HandlePacket(ctx)
 		switch v {
 		case VerdictPass:

@@ -326,3 +326,72 @@ func TestEngineVerdictConservationProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Regression: queue slots must be released when a frame's input occupancy
+// ends, not when its verdict emerges a pipeline-depth later. A deep
+// pipeline with the old verdict-time accounting overstated queue depth
+// and queue-dropped bursty arrivals the input buffer actually had room
+// for.
+func TestEngineQueueReleasedAtOccupancyEnd(t *testing.T) {
+	sim := netsim.New(1)
+	deep := passProgram()
+	deep.Stages = 20 // depth 43 cycles ≈ 275 ns — far beyond one service time
+	e := NewEngine(sim, clock156, 64, nil)
+	if err := e.SetProgram(deep); err != nil {
+		t.Fatal(err)
+	}
+	e.QueueLimit = 3
+
+	// t=0: burst of 4 frames. Frame 0 enters service immediately; frames
+	// 1-3 queue (depth 3 = at the limit). Service time is 9 cycles =
+	// 57.6 ns, so frame 1's occupancy ends at 115.2 ns, while its verdict
+	// only emerges at ≈390 ns.
+	for i := 0; i < 4; i++ {
+		if !e.Submit(make([]byte, 64), DirEdgeToOptical) {
+			t.Fatalf("burst frame %d dropped", i)
+		}
+	}
+	// t=120 ns: frame 1 has fully entered the pipeline, so only frames
+	// 2-3 still hold queue slots. The arrival must be accepted; the old
+	// accounting still counted 3 queued (waiting for frame 1's verdict)
+	// and dropped it.
+	ok := false
+	sim.ScheduleAt(120, func() {
+		ok = e.Submit(make([]byte, 64), DirEdgeToOptical)
+	})
+	sim.Run()
+	if !ok {
+		t.Error("spurious QueueDrop: queue slot not released at occupancy end")
+	}
+	st := e.Stats()
+	if st.QueueDrop != 0 {
+		t.Errorf("QueueDrop = %d, want 0", st.QueueDrop)
+	}
+	if st.In != 5 {
+		t.Errorf("In = %d, want 5", st.In)
+	}
+	verdicts := st.Pass + st.Drop + st.Tx + st.Redirect + st.ToCPU
+	if verdicts != st.In {
+		t.Errorf("verdicts %d != accepted %d", verdicts, st.In)
+	}
+}
+
+// The queue must still fill and drop when arrivals genuinely outpace the
+// input: same burst, but the probe arrives while all slots are held.
+func TestEngineQueueStillDropsWhenFull(t *testing.T) {
+	sim := netsim.New(1)
+	e := newTestEngine(t, sim, nil)
+	e.QueueLimit = 2
+	for i := 0; i < 3; i++ {
+		e.Submit(make([]byte, 64), DirEdgeToOptical)
+	}
+	// Immediately offer a fourth: frames 1-2 hold both slots until 115.2
+	// and 172.8 ns; at t=0 the queue is full.
+	if e.Submit(make([]byte, 64), DirEdgeToOptical) {
+		t.Error("accepted into a full queue")
+	}
+	if st := e.Stats(); st.QueueDrop != 1 {
+		t.Errorf("QueueDrop = %d, want 1", st.QueueDrop)
+	}
+	sim.Run()
+}

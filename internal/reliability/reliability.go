@@ -12,6 +12,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"flexsfp/internal/runner"
 )
 
 // VCSELModel is the lognormal wear-out model (per the OMEGA reliability
@@ -101,33 +103,63 @@ type FleetReport struct {
 	LaserRepairSavingFrac float64
 }
 
-// RunFleet simulates the fleet deterministically for a seed.
-func RunFleet(seed int64, m VCSELModel, cfg FleetConfig) FleetReport {
-	rng := rand.New(rand.NewSource(seed))
-	ttfs := make([]float64, cfg.Modules)
-	for i := range ttfs {
-		ttfs[i] = m.SampleTTFYears(rng)
-	}
+// fleetShardSize is how many modules one worker simulates per shard.
+// Each shard draws from its own RNG seeded by runner.TrialSeed(seed,
+// shard), so the sample stream of module i depends only on (seed, i/
+// fleetShardSize) and the merged report is identical for any worker
+// count.
+const fleetShardSize = 1024
 
-	rep := FleetReport{Modules: cfg.Modules}
-	var sum float64
-	for _, ttf := range ttfs {
-		sum += ttf
+// validConfig reports whether the fleet configuration is simulatable;
+// invalid configurations yield a zero-value report instead of NaNs.
+func validConfig(m VCSELModel, cfg FleetConfig) bool {
+	return cfg.Modules > 0 && cfg.InspectionIntervalYears > 0 && m.DegradationExponent > 0
+}
+
+// fleetShard is one worker's partial result.
+type fleetShard struct {
+	failures int
+	detected int
+	sum      float64
+	ttfs     []float64
+}
+
+// simShard simulates modules [lo, hi) of the fleet with a private RNG.
+func simShard(rng *rand.Rand, n int, m VCSELModel, cfg FleetConfig) fleetShard {
+	sh := fleetShard{ttfs: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		ttf := m.SampleTTFYears(rng)
+		sh.ttfs[i] = ttf
+		sh.sum += ttf
 		if ttf <= cfg.Years {
-			rep.Failures++
+			sh.failures++
 			// Was there an inspection between the warn point and death?
 			warnAge := ttf * math.Pow(cfg.WarnDegradation, 1/m.DegradationExponent)
 			firstSweepAfterWarn := math.Ceil(warnAge/cfg.InspectionIntervalYears) * cfg.InspectionIntervalYears
 			if firstSweepAfterWarn < ttf {
-				rep.DetectedEarly++
+				sh.detected++
 			}
 		}
 	}
+	return sh
+}
+
+// reduceShards merges per-shard results in shard order — a deterministic
+// reduce, independent of which worker finished first.
+func reduceShards(shards []fleetShard, cfg FleetConfig) FleetReport {
+	rep := FleetReport{Modules: cfg.Modules}
+	var sum float64
+	all := make([]float64, 0, cfg.Modules)
+	for _, sh := range shards {
+		rep.Failures += sh.failures
+		rep.DetectedEarly += sh.detected
+		sum += sh.sum
+		all = append(all, sh.ttfs...)
+	}
 	rep.MTTFYears = sum / float64(cfg.Modules)
-	sorted := append([]float64(nil), ttfs...)
-	sort.Float64s(sorted)
-	rep.P10Years = sorted[cfg.Modules/10]
-	rep.P90Years = sorted[cfg.Modules*9/10]
+	sort.Float64s(all)
+	rep.P10Years = all[cfg.Modules/10]
+	rep.P90Years = all[cfg.Modules*9/10]
 
 	f := float64(rep.Failures)
 	rep.StandardSwapCostUSD = f * (cfg.StandardSFPUnitUSD + cfg.RepairLaborUSD)
@@ -136,6 +168,102 @@ func RunFleet(seed int64, m VCSELModel, cfg FleetConfig) FleetReport {
 	if rep.FlexModuleSwapCostUSD > 0 {
 		rep.LaserRepairSavingFrac = 1 - rep.FlexLaserRepairUSD/rep.FlexModuleSwapCostUSD
 	}
+	return rep
+}
+
+func shardCount(modules int) int {
+	return (modules + fleetShardSize - 1) / fleetShardSize
+}
+
+func shardLen(shard, modules int) int {
+	n := fleetShardSize
+	if hi := (shard + 1) * fleetShardSize; hi > modules {
+		n = modules - shard*fleetShardSize
+	}
+	return n
+}
+
+// RunFleet simulates the fleet deterministically for a seed, sharding the
+// module population across all available cores. The report is
+// bit-identical for any GOMAXPROCS and matches RunFleetSerial.
+func RunFleet(seed int64, m VCSELModel, cfg FleetConfig) FleetReport {
+	return RunFleetParallel(seed, m, cfg, 0)
+}
+
+// RunFleetParallel is RunFleet with an explicit worker bound (0 =
+// GOMAXPROCS).
+func RunFleetParallel(seed int64, m VCSELModel, cfg FleetConfig, parallelism int) FleetReport {
+	if !validConfig(m, cfg) {
+		return FleetReport{}
+	}
+	shards, _ := runner.Map(shardCount(cfg.Modules),
+		runner.Options{Seed: seed, Parallelism: parallelism},
+		func(shard int, rng *rand.Rand) (fleetShard, error) {
+			return simShard(rng, shardLen(shard, cfg.Modules), m, cfg), nil
+		})
+	return reduceShards(shards, cfg)
+}
+
+// RunFleetSerial is the single-loop reference implementation: same
+// per-shard seeding, executed on the calling goroutine with no pool. It
+// exists to pin the sharded path's semantics (RunFleet must match it
+// exactly) and as the baseline for the fleet speedup benchmark.
+func RunFleetSerial(seed int64, m VCSELModel, cfg FleetConfig) FleetReport {
+	if !validConfig(m, cfg) {
+		return FleetReport{}
+	}
+	shards := make([]fleetShard, shardCount(cfg.Modules))
+	for shard := range shards {
+		rng := runner.TrialRand(seed, shard)
+		shards[shard] = simShard(rng, shardLen(shard, cfg.Modules), m, cfg)
+	}
+	return reduceShards(shards, cfg)
+}
+
+// FleetTrialsReport aggregates RunFleet over many independent seeds:
+// every headline metric becomes a mean ± stddev with a 95% CI, which is
+// what the multi-trial evaluation reports instead of single-seed point
+// estimates.
+type FleetTrialsReport struct {
+	Trials  int
+	Modules int
+
+	Failures      runner.Summary
+	DetectedEarly runner.Summary
+	MTTFYears     runner.Summary
+	P10Years      runner.Summary
+	P90Years      runner.Summary
+
+	StandardSwapCostUSD   runner.Summary
+	FlexModuleSwapCostUSD runner.Summary
+	FlexLaserRepairUSD    runner.Summary
+	LaserRepairSavingFrac runner.Summary
+}
+
+// RunFleetTrials runs the fleet simulation for `trials` independent seeds
+// derived from rootSeed (trial t uses runner.TrialSeed(rootSeed, t)) with
+// trials spread across workers, and reduces to cross-trial statistics.
+// Each trial's fleet runs serially inside its worker — parallelism comes
+// from the trial fan-out, so nested pools never oversubscribe.
+func RunFleetTrials(rootSeed int64, trials int, m VCSELModel, cfg FleetConfig, parallelism int) FleetTrialsReport {
+	if trials <= 0 || !validConfig(m, cfg) {
+		return FleetTrialsReport{}
+	}
+	reports, _ := runner.Map(trials,
+		runner.Options{Seed: rootSeed, Parallelism: parallelism},
+		func(trial int, _ *rand.Rand) (FleetReport, error) {
+			return RunFleetSerial(runner.TrialSeed(rootSeed, trial), m, cfg), nil
+		})
+	rep := FleetTrialsReport{Trials: trials, Modules: cfg.Modules}
+	rep.Failures = runner.Collect(reports, func(r FleetReport) float64 { return float64(r.Failures) })
+	rep.DetectedEarly = runner.Collect(reports, func(r FleetReport) float64 { return float64(r.DetectedEarly) })
+	rep.MTTFYears = runner.Collect(reports, func(r FleetReport) float64 { return r.MTTFYears })
+	rep.P10Years = runner.Collect(reports, func(r FleetReport) float64 { return r.P10Years })
+	rep.P90Years = runner.Collect(reports, func(r FleetReport) float64 { return r.P90Years })
+	rep.StandardSwapCostUSD = runner.Collect(reports, func(r FleetReport) float64 { return r.StandardSwapCostUSD })
+	rep.FlexModuleSwapCostUSD = runner.Collect(reports, func(r FleetReport) float64 { return r.FlexModuleSwapCostUSD })
+	rep.FlexLaserRepairUSD = runner.Collect(reports, func(r FleetReport) float64 { return r.FlexLaserRepairUSD })
+	rep.LaserRepairSavingFrac = runner.Collect(reports, func(r FleetReport) float64 { return r.LaserRepairSavingFrac })
 	return rep
 }
 

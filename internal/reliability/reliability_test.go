@@ -3,6 +3,7 @@ package reliability
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -147,5 +148,107 @@ func TestInspectionIntervalMatters(t *testing.T) {
 	frequent := RunFleet(11, DefaultVCSEL(), DefaultFleet())
 	if rare.DetectedEarly >= frequent.DetectedEarly {
 		t.Errorf("rare sweeps detected %d ≥ frequent %d", rare.DetectedEarly, frequent.DetectedEarly)
+	}
+}
+
+// The sharded pool path must match the single-loop reference bit for bit,
+// for any worker count and for fleets that don't divide evenly into
+// shards.
+func TestShardedFleetMatchesSerial(t *testing.T) {
+	m := DefaultVCSEL()
+	for _, modules := range []int{1, 100, 1023, 1024, 1025, 10000} {
+		cfg := DefaultFleet()
+		cfg.Modules = modules
+		want := RunFleetSerial(11, m, cfg)
+		for _, par := range []int{0, 1, 2, 8} {
+			got := RunFleetParallel(11, m, cfg, par)
+			if got != want {
+				t.Fatalf("modules=%d parallelism=%d: sharded report diverged from serial:\n%+v\nvs\n%+v",
+					modules, par, got, want)
+			}
+		}
+	}
+}
+
+func TestFleetDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	m := DefaultVCSEL()
+	cfg := DefaultFleet()
+	run := func(procs int) FleetReport {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		return RunFleet(7, m, cfg)
+	}
+	if a, b := run(1), run(8); a != b {
+		t.Fatalf("GOMAXPROCS changed the fleet report:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// Invalid configurations must yield a zero-value report instead of
+// dividing by zero or producing NaN percentiles.
+func TestFleetEdgeCaseConfigs(t *testing.T) {
+	m := DefaultVCSEL()
+	cases := []struct {
+		name   string
+		mutate func(*VCSELModel, *FleetConfig)
+	}{
+		{"zero-modules", func(m *VCSELModel, c *FleetConfig) { c.Modules = 0 }},
+		{"negative-modules", func(m *VCSELModel, c *FleetConfig) { c.Modules = -5 }},
+		{"zero-inspection-interval", func(m *VCSELModel, c *FleetConfig) { c.InspectionIntervalYears = 0 }},
+		{"negative-inspection-interval", func(m *VCSELModel, c *FleetConfig) { c.InspectionIntervalYears = -1 }},
+		{"zero-degradation-exponent", func(m *VCSELModel, c *FleetConfig) { m.DegradationExponent = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mm, cfg := m, DefaultFleet()
+			tc.mutate(&mm, &cfg)
+			for name, rep := range map[string]FleetReport{
+				"RunFleet":       RunFleet(11, mm, cfg),
+				"RunFleetSerial": RunFleetSerial(11, mm, cfg),
+			} {
+				if rep != (FleetReport{}) {
+					t.Errorf("%s returned %+v, want zero report", name, rep)
+				}
+			}
+			tr := RunFleetTrials(11, 4, mm, cfg, 0)
+			if tr != (FleetTrialsReport{}) {
+				t.Errorf("RunFleetTrials returned %+v, want zero report", tr)
+			}
+		})
+	}
+	// Tiny-but-valid fleets must not panic on percentile indexing.
+	cfg := DefaultFleet()
+	cfg.Modules = 1
+	rep := RunFleet(11, m, cfg)
+	if rep.Modules != 1 || math.IsNaN(rep.MTTFYears) {
+		t.Errorf("single-module report = %+v", rep)
+	}
+}
+
+func TestRunFleetTrials(t *testing.T) {
+	m := DefaultVCSEL()
+	cfg := DefaultFleet()
+	tr := RunFleetTrials(11, 8, m, cfg, 0)
+	if tr.Trials != 8 || tr.Modules != cfg.Modules {
+		t.Fatalf("trials report = %+v", tr)
+	}
+	// Seeds differ, so failure counts must vary across trials...
+	if tr.Failures.Stddev == 0 {
+		t.Error("independent seeds produced identical failure counts")
+	}
+	// ...but the mean must stay in the single-seed plausibility band.
+	frac := tr.Failures.Mean / float64(cfg.Modules)
+	if frac < 0.15 || frac > 0.50 {
+		t.Errorf("mean failure fraction = %.3f", frac)
+	}
+	if tr.Failures.CI95() <= 0 || tr.Failures.CI95() > tr.Failures.Stddev {
+		t.Errorf("CI95 = %.2f (stddev %.2f)", tr.Failures.CI95(), tr.Failures.Stddev)
+	}
+	// Deterministic: same root seed, any parallelism.
+	again := RunFleetTrials(11, 8, m, cfg, 1)
+	if tr != again {
+		t.Error("trials report depends on parallelism")
+	}
+	if zero := RunFleetTrials(11, 0, m, cfg, 0); zero != (FleetTrialsReport{}) {
+		t.Error("zero trials should yield zero report")
 	}
 }

@@ -1,0 +1,63 @@
+package runner
+
+import "math"
+
+// Summary is the cross-trial statistic reported by every multi-seed
+// experiment: sample mean, sample standard deviation (Bessel-corrected),
+// extremes, and a normal-approximation 95% confidence half-width.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize reduces per-trial samples to a Summary. An empty slice yields
+// the zero Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var sq float64
+		for _, x := range xs {
+			d := x - s.Mean
+			sq += d * d
+		}
+		s.Stddev = math.Sqrt(sq / float64(s.N-1))
+	}
+	return s
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the mean
+// (1.96·σ/√n; zero when fewer than two samples).
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.Stddev / math.Sqrt(float64(s.N))
+}
+
+// Collect maps each result through f and summarizes — the idiom for
+// turning []TrialResult into a per-metric Summary.
+func Collect[T any](results []T, f func(T) float64) Summary {
+	xs := make([]float64, len(results))
+	for i, r := range results {
+		xs[i] = f(r)
+	}
+	return Summarize(xs)
+}

@@ -1,0 +1,53 @@
+package trafficgen
+
+import (
+	"testing"
+
+	"flexsfp/internal/netsim"
+)
+
+// BenchmarkGenerate measures frame emission with a sink that consumes and
+// immediately releases each buffer (the steady state of the line-rate and
+// power experiments).
+func BenchmarkGenerate(b *testing.B) {
+	sim := netsim.New(1)
+	var got uint64
+	g := New(sim, Config{
+		PPS:    10e6,
+		SrcMAC: gMacA, DstMAC: gMacB,
+	}, func(buf []byte) bool {
+		got += uint64(len(buf))
+		PutBuffer(buf)
+		return true
+	})
+	b.ReportAllocs()
+	b.SetBytes(64)
+	g.Run(uint64(b.N))
+	b.ResetTimer()
+	sim.Run()
+	if got == 0 {
+		b.Fatal("no frames")
+	}
+}
+
+// BenchmarkGenerateIMIX measures emission with the 7:4:1 size mix and a
+// 64-flow population (size + flow sampling on every frame).
+func BenchmarkGenerateIMIX(b *testing.B) {
+	sim := netsim.New(1)
+	var got uint64
+	g := New(sim, Config{
+		PPS: 10e6, Sizes: SimpleIMIX(), Flows: 64,
+		SrcMAC: gMacA, DstMAC: gMacB,
+	}, func(buf []byte) bool {
+		got += uint64(len(buf))
+		PutBuffer(buf)
+		return true
+	})
+	b.ReportAllocs()
+	g.Run(uint64(b.N))
+	b.ResetTimer()
+	sim.Run()
+	if got == 0 {
+		b.Fatal("no frames")
+	}
+}

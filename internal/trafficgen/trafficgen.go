@@ -8,10 +8,43 @@ package trafficgen
 import (
 	"math/rand"
 	"net/netip"
+	"sync"
 
 	"flexsfp/internal/netsim"
 	"flexsfp/internal/packet"
 )
+
+// maxPooledFrame is the buffer size the frame pool hands out: large
+// enough for a 1518-byte frame plus tunnel/telemetry growth.
+const maxPooledFrame = 2048
+
+// framePool recycles emission buffers. Buffers are stored as fixed-size
+// array pointers so both Get and Put are allocation-free (a *[N]byte fits
+// in the interface word; no slice-header escape). The pool is shared by
+// all generators and is safe across the parallel experiment runner —
+// buffer contents are always fully overwritten on reuse, so recycling
+// cannot perturb deterministic results.
+var framePool = sync.Pool{New: func() any { return new([maxPooledFrame]byte) }}
+
+// GetBuffer returns a frame buffer of length n, recycled when possible.
+func GetBuffer(n int) []byte {
+	if n > maxPooledFrame {
+		return make([]byte, n)
+	}
+	a := framePool.Get().(*[maxPooledFrame]byte)
+	return a[:n:maxPooledFrame]
+}
+
+// PutBuffer returns a buffer obtained from GetBuffer to the pool. Sinks
+// call it once a frame's lifetime ends (after the verdict callback);
+// buffers that were resliced or did not come from the pool are ignored.
+// After PutBuffer the caller must not touch the slice again.
+func PutBuffer(b []byte) {
+	if cap(b) != maxPooledFrame {
+		return
+	}
+	framePool.Put((*[maxPooledFrame]byte)(b[:maxPooledFrame]))
+}
 
 // IMIXEntry is one component of a size mix.
 type IMIXEntry struct {
@@ -166,8 +199,10 @@ func (g *Generator) Run(count uint64) {
 			return
 		}
 		frame := g.pickFrame()
-		// Copy: downstream mutates frames in place.
-		buf := make([]byte, len(frame))
+		// Copy into a pooled buffer: downstream mutates frames in place
+		// and may retain them until the verdict fires; consumers recycle
+		// with PutBuffer when done.
+		buf := GetBuffer(len(frame))
 		copy(buf, frame)
 		if g.sink(buf) {
 			g.Sent++
@@ -175,9 +210,9 @@ func (g *Generator) Run(count uint64) {
 			g.Sent++
 			g.Refused++
 		}
-		g.sim.Schedule(g.gap(), emit)
+		g.sim.ScheduleDetached(g.gap(), emit)
 	}
-	g.sim.Schedule(g.gap(), emit)
+	g.sim.ScheduleDetached(g.gap(), emit)
 }
 
 // Stop halts emission after the current event.
