@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build test race bench vet fmt check examples reports clean
+# Packages with real concurrency (fleet fan-out, TCP serving, parallel
+# trial runner, fault-injected transports): the race pass focuses here so
+# `make check` stays fast; `make race-all` still sweeps everything.
+RACE_PKGS = ./internal/mgmt ./internal/netsim ./internal/runner ./internal/faults
+
+.PHONY: all build test race race-all bench vet fmt check examples reports clean
 
 all: build test
 
@@ -14,6 +19,9 @@ test:
 	$(GO) test ./...
 
 race:
+	$(GO) test -race $(RACE_PKGS)
+
+race-all:
 	$(GO) test -race ./...
 
 bench:

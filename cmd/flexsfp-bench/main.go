@@ -9,9 +9,15 @@
 //	flexsfp-bench -trials 8        # multi-seed runs with 95% CIs
 //	flexsfp-bench -parallel 4      # bound the worker pool
 //	flexsfp-bench -json            # machine-readable results blob
+//	flexsfp-bench -faults          # include the fault-injection sweep
+//	flexsfp-bench -faults -fault-rate 0.4
 //
 // Experiments: table1, table2, table3, power, linerate, arch, scale,
-// gap, reliability, formfactor, latency, retrofit.
+// gap, reliability, formfactor, latency, retrofit, faults.
+//
+// The "faults" chaos experiment only joins "-run all" when -faults is
+// given (it can also be requested by name with -run faults), keeping
+// default outputs byte-identical to fault-free builds.
 //
 // Independent experiments run concurrently (bounded by -parallel, or
 // GOMAXPROCS); output order is fixed regardless of completion order,
@@ -61,6 +67,8 @@ func main() {
 	trials := flag.Int("trials", 1, "independent seeds per stochastic experiment (>1 reports mean ± 95% CI)")
 	parallel := flag.Int("parallel", 0, "max concurrent workers (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON results blob instead of tables")
+	withFaults := flag.Bool("faults", false, "include the fault-injection sweep in -run all")
+	faultRate := flag.Float64("fault-rate", 0.2, "max fault-rate multiplier swept by the faults experiment")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -68,7 +76,13 @@ func main() {
 		want[strings.TrimSpace(name)] = true
 	}
 	all := want["all"]
-	selected := func(name string) bool { return all || want[name] }
+	selected := func(name string) bool {
+		if name == "faults" {
+			// Opt-in under "all" so default reports stay byte-identical.
+			return want[name] || (all && *withFaults)
+		}
+		return all || want[name]
+	}
 
 	// The stochastic experiments switch to their multi-seed variants when
 	// -trials asks for more than one.
@@ -132,6 +146,10 @@ func main() {
 		}},
 		{"latency", func() (string, any, error) {
 			r, err := flexsfp.LatencyOverheadExperiment()
+			return r.Render(), r, err
+		}},
+		{"faults", func() (string, any, error) {
+			r, err := flexsfp.ReconfigUnderFaultsExperiment(*seed, *trials, *parallel, *faultRate)
 			return r.Render(), r, err
 		}},
 	}

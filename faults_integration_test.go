@@ -1,0 +1,173 @@
+package flexsfp
+
+// Cross-layer fault-injection tests: the mgmt OTA path, the flash device,
+// and the core boot FSM exercised together under injected failures.
+
+import (
+	"errors"
+	"testing"
+
+	"flexsfp/internal/core"
+	"flexsfp/internal/faults"
+	"flexsfp/internal/hls"
+	"flexsfp/internal/mgmt"
+	"flexsfp/internal/netsim"
+)
+
+// provisionedModule builds a module with golden in slot 0 and v1 in slot 1,
+// running slot 1, plus its agent.
+func provisionedModule(t *testing.T, img *faultImages, sim *netsim.Simulator) (*core.Module, *mgmt.Agent) {
+	t.Helper()
+	mod := core.NewModule(core.Config{
+		Sim: sim, Name: "sfp-0", DeviceID: 1,
+		Shell: hls.TwoWayCore, Registry: img.registry, AuthKey: DefaultAuthKey,
+	})
+	if _, err := mod.Install(0, img.golden); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mod.Install(1, img.v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := mod.BootSync(1); err != nil {
+		t.Fatal(err)
+	}
+	return mod, mgmt.NewAgent(mod)
+}
+
+// TestPowerCutDuringOTAFallsBackToGolden drives the full stack: an OTA push
+// over mgmt commits to flash, power is cut while the new image (and the
+// previous slot) are being programmed, and at the next boot the core FSM
+// detects the corruption and recovers onto the golden image.
+func TestPowerCutDuringOTAFallsBackToGolden(t *testing.T) {
+	img, err := buildFaultImages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := netsim.New(1)
+	mod, agent := provisionedModule(t, img, sim)
+	inj := faults.New(1, faults.Rates{})
+
+	c := mgmt.NewClient(mgmt.TransportFunc(func(req []byte) ([]byte, error) {
+		resp := agent.Handle(req)
+		if msg, derr := mgmt.DecodeMessage(req); derr == nil && msg.Type == mgmt.MsgXferCommit {
+			// Power cut right after the commit wrote flash: the freshly
+			// programmed target slot and the previous slot both end up
+			// partially programmed, so only golden can boot.
+			if err := inj.PowerCut(mod.Flash, 2, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := inj.PowerCut(mod.Flash, 1, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sim.Run()
+		return resp, nil
+	}))
+
+	if err := c.PushBitstream(img.signedV2, 2, true); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	if !mod.Running() {
+		t.Fatal("module dead after power cut during OTA")
+	}
+	if mod.ActiveSlot() != 0 {
+		t.Errorf("active slot = %d, want golden fallback to 0", mod.ActiveSlot())
+	}
+	st := mod.Stats()
+	if st.BootFailures == 0 || st.GoldenFallbacks != 1 {
+		t.Errorf("stats = %+v, want boot failure and one golden fallback", st)
+	}
+	// The recovery is visible end-to-end through the mgmt stats channel.
+	rst, err := c.ReadStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.GoldenFallbacks != 1 || rst.ActiveSlot != 0 || !rst.Running {
+		t.Errorf("remote stats = %+v", rst)
+	}
+}
+
+// TestPowerCutSparingPrevSlotRestoresPrevious is the softer variant: only
+// the target slot is corrupted, so the FSM restores the previously running
+// design instead of falling all the way back to golden.
+func TestPowerCutSparingPrevSlotRestoresPrevious(t *testing.T) {
+	img, err := buildFaultImages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := netsim.New(1)
+	mod, agent := provisionedModule(t, img, sim)
+	inj := faults.New(1, faults.Rates{})
+
+	c := mgmt.NewClient(mgmt.TransportFunc(func(req []byte) ([]byte, error) {
+		resp := agent.Handle(req)
+		if msg, derr := mgmt.DecodeMessage(req); derr == nil && msg.Type == mgmt.MsgXferCommit {
+			if err := inj.PowerCut(mod.Flash, 2, 0.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sim.Run()
+		return resp, nil
+	}))
+
+	if err := c.PushBitstream(img.signedV2, 2, true); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	if !mod.Running() || mod.ActiveSlot() != 1 {
+		t.Errorf("running=%v slot=%d, want previous slot 1", mod.Running(), mod.ActiveSlot())
+	}
+	if st := mod.Stats(); st.BootFailures != 1 || st.GoldenFallbacks != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestTamperedPushLeavesPreviousSlotRunning checks OTA error-path
+// consistency across tamper modes: a rejected push must leave the module
+// running its previous design with the target slot untouched.
+func TestTamperedPushLeavesPreviousSlotRunning(t *testing.T) {
+	img, err := buildFaultImages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		mode faults.TamperMode
+	}{
+		{"wrong-key", faults.TamperWrongKey},
+		{"crc", faults.TamperCRC},
+		{"truncate", faults.TamperTruncate},
+		{"stale", faults.TamperStale},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sim := netsim.New(1)
+			mod, agent := provisionedModule(t, img, sim)
+			inj := faults.New(1, faults.Rates{})
+			c := mgmt.NewClient(mgmt.TransportFunc(func(req []byte) ([]byte, error) {
+				resp := agent.Handle(req)
+				sim.Run()
+				return resp, nil
+			}))
+
+			bad := inj.TamperSigned(img.signedV2, DefaultAuthKey, tc.mode)
+			err := c.PushBitstream(bad, 2, true)
+			var pe *mgmt.PushError
+			if !errors.As(err, &pe) || pe.Stage != "commit" {
+				t.Fatalf("err = %v, want commit-stage PushError", err)
+			}
+			var re *mgmt.RemoteError
+			if !errors.As(err, &re) {
+				t.Fatalf("cause = %v, want RemoteError", err)
+			}
+			if !mod.Running() || mod.ActiveSlot() != 1 {
+				t.Errorf("running=%v slot=%d, want previous design untouched", mod.Running(), mod.ActiveSlot())
+			}
+			slots, err := c.Slots()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if slots[2] != "" {
+				t.Errorf("slot 2 = %q after rejected push, want empty", slots[2])
+			}
+		})
+	}
+}

@@ -29,9 +29,13 @@ const (
 	FlagGolden uint16 = 1 << 0
 )
 
+// CRCSize is the length of the CRC-32 integrity trailer at the end of an
+// encoded bitstream (exported for fault injectors that target it).
+const CRCSize = 4
+
 const (
 	headerSize = 4 + 2 + 2 + 32 + 4 + 16 + 4 + 2 + 2 + 4 // 72 bytes
-	crcSize    = 4
+	crcSize    = CRCSize
 	macSize    = sha256.Size
 	maxNameLen = 32
 	maxDevLen  = 16
@@ -41,13 +45,14 @@ const (
 
 // Errors returned by decoding and verification.
 var (
-	ErrBadMagic   = errors.New("bitstream: bad magic")
-	ErrBadVersion = errors.New("bitstream: unsupported format version")
-	ErrBadCRC     = errors.New("bitstream: CRC mismatch")
-	ErrTooShort   = errors.New("bitstream: data too short")
-	ErrBadMAC     = errors.New("bitstream: authentication failed")
-	ErrTooLarge   = errors.New("bitstream: payload too large")
-	ErrBadField   = errors.New("bitstream: invalid field")
+	ErrBadMagic     = errors.New("bitstream: bad magic")
+	ErrBadVersion   = errors.New("bitstream: unsupported format version")
+	ErrBadCRC       = errors.New("bitstream: CRC mismatch")
+	ErrTooShort     = errors.New("bitstream: data too short")
+	ErrBadMAC       = errors.New("bitstream: authentication failed")
+	ErrTooLarge     = errors.New("bitstream: payload too large")
+	ErrBadField     = errors.New("bitstream: invalid field")
+	ErrStaleVersion = errors.New("bitstream: stale application version")
 )
 
 // Bitstream is a design image.
@@ -63,6 +68,17 @@ type Bitstream struct {
 
 // Golden reports whether the image is the factory fallback.
 func (b *Bitstream) Golden() bool { return b.Flags&FlagGolden != 0 }
+
+// VerifyFreshness rejects downgrade attacks: an image whose AppVersion is
+// below current (the version already running for the same application)
+// fails with ErrStaleVersion. Equal versions are accepted (re-push of the
+// running image is idempotent).
+func (b *Bitstream) VerifyFreshness(current uint32) error {
+	if b.AppVersion < current {
+		return fmt.Errorf("%w: have v%d, offered v%d", ErrStaleVersion, current, b.AppVersion)
+	}
+	return nil
+}
 
 // Size returns the encoded size in bytes.
 func (b *Bitstream) Size() int { return headerSize + len(b.Payload) + crcSize }

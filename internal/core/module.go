@@ -73,6 +73,10 @@ type Config struct {
 	// DeviceName is the FPGA part; bitstreams for other parts are
 	// refused. Default "MPF200T".
 	DeviceName string
+	// HealthCheckDelay is how long after a reconfigure the watchdog
+	// waits before probing the new design; default 1 ms. The watchdog
+	// only runs when a health probe is installed (SetHealthProbe).
+	HealthCheckDelay netsim.Duration
 }
 
 // Stats counts module-level events (engine-level counters live in
@@ -85,6 +89,10 @@ type Stats struct {
 	PuntToCPU     uint64 // frames the PPE sent to the control plane
 	Boots         uint64
 	AuthFailures  uint64
+
+	BootFailures    uint64 // reboots whose target slot failed validation/load
+	GoldenFallbacks uint64 // recoveries that ended on the golden image
+	WatchdogTrips   uint64 // post-reconfigure health probes that failed
 }
 
 // Module is a FlexSFP: two (or three) network interfaces around a
@@ -110,6 +118,9 @@ type Module struct {
 	controlHandler func(payload []byte, from PortID) [][]byte
 	// puntHandler receives frames the PPE verdicts to the CPU.
 	puntHandler func(data []byte, dir ppe.Direction)
+	// healthProbe, when installed, is consulted by the watchdog after a
+	// reconfigure; returning false marks the new design wedged.
+	healthProbe func(slot int) bool
 
 	stats Stats
 	mac   packet.MAC
@@ -179,6 +190,15 @@ func (m *Module) SetPuntHandler(h func(data []byte, dir ppe.Direction)) {
 	m.puntHandler = h
 }
 
+// SetHealthProbe installs a post-reconfigure health check. After every
+// Reboot that boots successfully, the watchdog waits HealthCheckDelay and
+// calls probe(slot); a false return counts a WatchdogTrip and falls the
+// module back to the golden image. A nil probe (the default) disables the
+// watchdog entirely — no extra simulator events are scheduled.
+func (m *Module) SetHealthProbe(probe func(slot int) bool) {
+	m.healthProbe = probe
+}
+
 // Install stores an (unsigned, local/JTAG path) encoded bitstream into a
 // flash slot and returns the flash programming time.
 func (m *Module) Install(slot int, encoded []byte) (netsim.Duration, error) {
@@ -202,6 +222,13 @@ func (m *Module) InstallSigned(slot int, signed []byte) (netsim.Duration, error)
 		return 0, fmt.Errorf("%w: bitstream for %q, module has %q",
 			ErrWrongDevice, bs.Device, m.cfg.DeviceName)
 	}
+	// Anti-rollback: refuse images older than the running version of the
+	// same application (a re-push of the running version is idempotent).
+	if m.state == stateRunning && m.bs != nil && m.bs.AppName == bs.AppName {
+		if err := bs.VerifyFreshness(m.bs.AppVersion); err != nil {
+			return 0, err
+		}
+	}
 	return m.Flash.StoreBitstream(slot, body)
 }
 
@@ -213,19 +240,86 @@ func (m *Module) BootSync(slot int) error { return m.bootNow(slot) }
 // flash read plus FPGA configuration time, then the new design starts.
 // Frames arriving meanwhile are dropped (counted in RebootDrops).
 func (m *Module) Reboot(slot int) {
+	prev := -1
+	if m.state == stateRunning {
+		prev = m.activeSlot
+	}
 	m.state = stateRebooting
 	_, readTime, _ := m.Flash.LoadBitstream(slot)
 	m.sim.Schedule(readTime+FPGAConfigTime, func() {
 		if err := m.bootNow(slot); err != nil {
-			// Failed boot: fall back to the golden image in slot 0
-			// (§4.2's reboot FSM made safe).
-			if slot != 0 {
-				if err2 := m.bootNow(0); err2 == nil {
-					return
-				}
-			}
-			m.state = stateEmpty
+			// Failed boot: fall back to the previously running design,
+			// then to the golden image (§4.2's reboot FSM made safe).
+			m.stats.BootFailures++
+			m.fallbackBoot(slot, prev)
+			return
 		}
+		m.armWatchdog(slot)
+	})
+}
+
+// fallbackBoot recovers after the design in badSlot failed: first the
+// previously running slot (if any and distinct), then the slot holding the
+// golden image, then slot 0 as a last resort. Sets stateEmpty if nothing
+// boots.
+func (m *Module) fallbackBoot(badSlot, prevSlot int) {
+	if prevSlot >= 0 && prevSlot != badSlot && m.bootNow(prevSlot) == nil {
+		m.noteFallback()
+		return
+	}
+	if g := m.goldenSlot(); g >= 0 && g != badSlot && g != prevSlot && m.bootNow(g) == nil {
+		m.noteFallback()
+		return
+	}
+	if badSlot != 0 && prevSlot != 0 && m.bootNow(0) == nil {
+		m.noteFallback()
+		return
+	}
+	m.state = stateEmpty
+}
+
+// noteFallback counts a successful fallback boot that landed on the
+// golden image.
+func (m *Module) noteFallback() {
+	if m.bs != nil && m.bs.Golden() {
+		m.stats.GoldenFallbacks++
+	}
+}
+
+// goldenSlot scans flash for the slot holding the factory golden image,
+// or -1 if none is stored.
+func (m *Module) goldenSlot() int {
+	for slot := 0; slot < flash.NumSlots; slot++ {
+		if bs, _, err := m.Flash.LoadBitstream(slot); err == nil && bs.Golden() {
+			return slot
+		}
+	}
+	return -1
+}
+
+// armWatchdog schedules the one-shot post-reconfigure health check. It is
+// a no-op unless a health probe is installed, so the default simulator
+// event stream is unchanged.
+func (m *Module) armWatchdog(slot int) {
+	if m.healthProbe == nil {
+		return
+	}
+	delay := m.cfg.HealthCheckDelay
+	if delay <= 0 {
+		delay = netsim.Millisecond
+	}
+	m.sim.Schedule(delay, func() {
+		if m.state != stateRunning || m.activeSlot != slot {
+			return // superseded by another reboot
+		}
+		if m.healthProbe(slot) {
+			return
+		}
+		// Wedged post-reconfigure PPE: the datapath looks up but passes
+		// no traffic. Fall back to the golden image.
+		m.stats.WatchdogTrips++
+		m.state = stateRebooting
+		m.fallbackBoot(slot, -1)
 	})
 }
 

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"flexsfp/internal/bitstream"
+	"flexsfp/internal/hls"
+	"flexsfp/internal/netsim"
+)
+
+// compileVersioned builds a "pass" image with an explicit app version.
+func compileVersioned(t *testing.T, reg *Registry, version uint32, golden bool) []byte {
+	t.Helper()
+	app, err := reg.New("pass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := app.Program()
+	prog.Version = version
+	d, err := hls.Compile(prog, hls.Options{
+		ClockHz: 156_250_000, DatapathBits: 64, Golden: golden,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := d.Bitstream.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+// newGoldenPlusApp provisions golden in slot 0 and a working app in slot 1,
+// booted into slot 1.
+func newGoldenPlusApp(t *testing.T, sim *netsim.Simulator) *Module {
+	t.Helper()
+	reg := testRegistry()
+	m := NewModule(Config{Sim: sim, Shell: hls.TwoWayCore, Registry: reg, AuthKey: []byte("k")})
+	if _, err := m.Install(0, compileVersioned(t, reg, 1, true)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Install(1, compileVersioned(t, reg, 1, false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BootSync(1); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestWatchdogTripFallsBackToGolden(t *testing.T) {
+	sim := netsim.New(1)
+	m := newGoldenPlusApp(t, sim)
+	// The app design comes up wedged: it passes configuration but fails
+	// its post-reconfigure health check. Golden is always healthy.
+	m.SetHealthProbe(func(slot int) bool { return slot == 0 })
+
+	m.Reboot(1)
+	sim.Run()
+
+	if !m.Running() {
+		t.Fatal("module dead after watchdog recovery")
+	}
+	if m.ActiveSlot() != 0 {
+		t.Errorf("active slot = %d, want golden fallback to 0", m.ActiveSlot())
+	}
+	st := m.Stats()
+	if st.WatchdogTrips != 1 || st.GoldenFallbacks != 1 {
+		t.Errorf("stats = %+v, want 1 trip and 1 golden fallback", st)
+	}
+}
+
+func TestWatchdogHealthyDesignUntouched(t *testing.T) {
+	sim := netsim.New(1)
+	m := newGoldenPlusApp(t, sim)
+	probes := 0
+	m.SetHealthProbe(func(slot int) bool { probes++; return true })
+
+	m.Reboot(1)
+	sim.Run()
+
+	if !m.Running() || m.ActiveSlot() != 1 {
+		t.Errorf("running=%v slot=%d, want healthy design kept", m.Running(), m.ActiveSlot())
+	}
+	if probes != 1 {
+		t.Errorf("probes = %d, want exactly 1", probes)
+	}
+	if st := m.Stats(); st.WatchdogTrips != 0 || st.GoldenFallbacks != 0 {
+		t.Errorf("stats = %+v, want no trips", st)
+	}
+}
+
+func TestBootFailureFallsBackToPreviousSlot(t *testing.T) {
+	sim := netsim.New(1)
+	m := newGoldenPlusApp(t, sim)
+	// Reboot into an empty slot: the boot fails and the FSM restores the
+	// previously running design before ever considering golden.
+	m.Reboot(3)
+	sim.Run()
+	if !m.Running() || m.ActiveSlot() != 1 {
+		t.Errorf("running=%v slot=%d, want previous slot 1", m.Running(), m.ActiveSlot())
+	}
+	st := m.Stats()
+	if st.BootFailures != 1 {
+		t.Errorf("BootFailures = %d", st.BootFailures)
+	}
+	if st.GoldenFallbacks != 0 {
+		t.Errorf("GoldenFallbacks = %d; previous-slot recovery is not golden", st.GoldenFallbacks)
+	}
+}
+
+func TestAntiRollbackRejectsStaleVersion(t *testing.T) {
+	sim := netsim.New(1)
+	reg := testRegistry()
+	key := []byte("k")
+	m := NewModule(Config{Sim: sim, Shell: hls.TwoWayCore, Registry: reg, AuthKey: key})
+	v2 := compileVersioned(t, reg, 2, false)
+	if _, err := m.InstallSigned(1, bitstream.Sign(v2, key)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BootSync(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// An older, correctly signed image of the running app is refused.
+	v1 := compileVersioned(t, reg, 1, false)
+	if _, err := m.InstallSigned(2, bitstream.Sign(v1, key)); !errors.Is(err, bitstream.ErrStaleVersion) {
+		t.Errorf("stale install: err = %v, want ErrStaleVersion", err)
+	}
+	// Re-pushing the running version is idempotent.
+	if _, err := m.InstallSigned(2, bitstream.Sign(v2, key)); err != nil {
+		t.Errorf("equal-version install: %v", err)
+	}
+	// Newer versions pass.
+	v3 := compileVersioned(t, reg, 3, false)
+	if _, err := m.InstallSigned(2, bitstream.Sign(v3, key)); err != nil {
+		t.Errorf("newer-version install: %v", err)
+	}
+	// Freshness never blocks before anything runs: fresh modules accept
+	// any version (the factory-provisioning path).
+	m2 := NewModule(Config{Sim: sim, Shell: hls.TwoWayCore, Registry: reg, AuthKey: key})
+	if _, err := m2.InstallSigned(1, bitstream.Sign(v1, key)); err != nil {
+		t.Errorf("install on fresh module: %v", err)
+	}
+}

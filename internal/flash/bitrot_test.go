@@ -1,0 +1,55 @@
+package flash
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestFlipBits(t *testing.T) {
+	d := New()
+	blob := make([]byte, 4096) // erased-then-programmed zeros
+	if _, err := d.WriteBlob(0, blob); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if err := d.FlipBits(0, len(blob), 12, rng.Intn); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := d.Read(0, len(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := 0
+	for _, b := range got {
+		for ; b != 0; b &= b - 1 {
+			set++
+		}
+	}
+	// Bits can collide (a bit flipped twice reverts), so the count is
+	// bounded above by the request but must not be zero.
+	if set == 0 || set > 12 {
+		t.Errorf("flipped %d bits, want 1..12", set)
+	}
+
+	// Unlike CorruptRange, FlipBits may SET bits in programmed cells:
+	// flip over an all-ones region and look for any byte change.
+	ones := bytes.Repeat([]byte{0xFF}, 4096)
+	if _, err := d.WriteBlob(SectorSize, ones); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FlipBits(SectorSize, len(ones), 4, rng.Intn); err != nil {
+		t.Fatal(err)
+	}
+	got2, _, _ := d.Read(SectorSize, len(ones))
+	if bytes.Equal(got2, ones) {
+		t.Error("FlipBits left an all-ones region untouched")
+	}
+
+	if err := d.FlipBits(SizeBytes-1, 2, 1, rng.Intn); err == nil {
+		t.Error("out-of-range flip succeeded")
+	}
+	if err := d.FlipBits(0, 0, 5, rng.Intn); err != nil {
+		t.Errorf("zero-length flip: %v", err)
+	}
+}

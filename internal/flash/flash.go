@@ -143,6 +143,22 @@ func (d *Device) CorruptRange(addr, n int, rnd func() byte) error {
 	return nil
 }
 
+// FlipBits simulates retention bit-rot: flips bits bits chosen by rng
+// (uniformly over [addr, addr+n)), regardless of NOR program semantics —
+// real charge loss can move cells in either direction.
+func (d *Device) FlipBits(addr, n, bits int, rng func(int) int) error {
+	if addr < 0 || n < 0 || addr+n > SizeBytes {
+		return fmt.Errorf("%w: fliprange [%d,%d)", ErrOutOfRange, addr, addr+n)
+	}
+	if n == 0 {
+		return nil
+	}
+	for i := 0; i < bits; i++ {
+		d.mem[addr+rng(n)] ^= 1 << uint(rng(8))
+	}
+	return nil
+}
+
 // WriteBlob erases the covered sectors and programs data at addr (sector-
 // aligned), returning the total operation time. This is the primitive the
 // reprogramming FSM uses to store a bitstream.

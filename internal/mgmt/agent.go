@@ -25,7 +25,10 @@ type transfer struct {
 	slot        int
 	rebootAfter bool
 	buf         []byte
-	received    int
+	// acked is the contiguous high-water mark of received bytes. Re-sent
+	// chunks (a client retrying after a lost response) are idempotent:
+	// they re-copy the same bytes and leave acked unchanged.
+	acked int
 }
 
 // NewAgent builds an agent and installs it as the module's in-band
@@ -85,6 +88,8 @@ func (a *Agent) dispatch(msg Message) Message {
 		return a.xferChunk(msg.Body)
 	case MsgXferCommit:
 		return a.xferCommit()
+	case MsgXferStatus:
+		return a.xferStatus()
 	case MsgReboot:
 		return a.reboot(msg.Body)
 	case MsgEEPROM:
@@ -357,6 +362,9 @@ func (a *Agent) statsMsg() Message {
 	w.u64(st.PuntToCPU)
 	w.u64(st.Boots)
 	w.u64(st.AuthFailures)
+	w.u64(st.BootFailures)
+	w.u64(st.GoldenFallbacks)
+	w.u64(st.WatchdogTrips)
 	var es ppe.EngineStats
 	if e := a.mod.Engine(); e != nil {
 		es = e.Stats()
@@ -434,8 +442,30 @@ func (a *Agent) xferChunk(body []byte) Message {
 		return errMsg(CodeBadBody, "chunk out of range")
 	}
 	copy(a.xfer.buf[off:], data)
-	a.xfer.received += len(data)
+	if off <= a.xfer.acked && off+len(data) > a.xfer.acked {
+		a.xfer.acked = off + len(data)
+	}
 	return ok(nil)
+}
+
+// xferStatus reports the transfer FSM state so a client can resume a push
+// from the last acknowledged byte after losing responses.
+func (a *Agent) xferStatus() Message {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var w bodyWriter
+	if a.xfer == nil {
+		w.u8(0)
+		w.u8(0)
+		w.u32(0)
+		w.u32(0)
+	} else {
+		w.u8(1)
+		w.u8(uint8(a.xfer.slot))
+		w.u32(uint32(len(a.xfer.buf)))
+		w.u32(uint32(a.xfer.acked))
+	}
+	return ok(w.b)
 }
 
 func (a *Agent) xferCommit() Message {
@@ -446,9 +476,9 @@ func (a *Agent) xferCommit() Message {
 	if x == nil {
 		return errMsg(CodeBadState, "no transfer in progress")
 	}
-	if x.received < len(x.buf) {
+	if x.acked < len(x.buf) {
 		return errMsg(CodeBadState,
-			fmt.Sprintf("transfer incomplete: %d of %d bytes", x.received, len(x.buf)))
+			fmt.Sprintf("transfer incomplete: %d of %d bytes", x.acked, len(x.buf)))
 	}
 	// The module authenticates the image (HMAC) and checks the target
 	// device before the FSM writes flash (§4.2).

@@ -1,0 +1,116 @@
+package mgmt
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCanaryRolloutAllHealthy(t *testing.T) {
+	fleet, mods, _, mu := buildFleet(t, 5)
+	signed := signedStatefulImage(t, 9)
+
+	rep := fleet.PushCanary(signed, CanaryConfig{TargetSlot: 2, Canaries: 2, WaveSize: 2})
+	if rep.RolledBack {
+		t.Fatalf("healthy rollout rolled back: %+v", rep.Failed)
+	}
+	if len(rep.Canaries) != 2 || rep.Canaries[0] != "a-port" || rep.Canaries[1] != "b-port" {
+		t.Errorf("canaries = %v", rep.Canaries)
+	}
+	if len(rep.Updated) != 5 || len(rep.Failed) != 0 {
+		t.Errorf("updated=%d failed=%d", len(rep.Updated), len(rep.Failed))
+	}
+	for name, slot := range rep.PrevSlots {
+		if slot != 1 {
+			t.Errorf("%s: prev slot = %d, want 1", name, slot)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, m := range mods {
+		if !m.Running() || m.ActiveSlot() != 2 {
+			t.Errorf("%s: running=%v slot=%d", m.Name(), m.Running(), m.ActiveSlot())
+		}
+	}
+}
+
+func TestCanaryRollbackOnUnhealthyCanary(t *testing.T) {
+	fleet, mods, _, mu := buildFleet(t, 4)
+	signed := signedStatefulImage(t, 9)
+
+	// The canary pushes and reboots fine but reports unhealthy: the
+	// rollout must stop at the first member and restore it, leaving the
+	// other three untouched.
+	rep := fleet.PushCanary(signed, CanaryConfig{
+		TargetSlot:  2,
+		Canaries:    1,
+		HealthCheck: func(string, *Client) error { return errors.New("loss spike") },
+	})
+	if !rep.RolledBack {
+		t.Fatal("unhealthy canary did not trigger rollback")
+	}
+	if len(rep.Failed) != 1 || rep.Failed[0].Name != "a-port" {
+		t.Errorf("failed = %+v", rep.Failed)
+	}
+	if len(rep.Updated) != 0 {
+		t.Errorf("updated = %v, want none past the canary", rep.Updated)
+	}
+	if len(rep.RollbackErrs) != 0 {
+		t.Errorf("rollback errors: %+v", rep.RollbackErrs)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, m := range mods {
+		if !m.Running() || m.ActiveSlot() != 1 {
+			t.Errorf("%s: running=%v slot=%d, want restored slot 1", m.Name(), m.Running(), m.ActiveSlot())
+		}
+	}
+}
+
+func TestCanaryToleratedFailureContinues(t *testing.T) {
+	fleet, mods, _, mu := buildFleet(t, 5)
+	signed := signedStatefulImage(t, 9)
+
+	// One member past the canary reports unhealthy; with a lenient
+	// threshold the rollout completes and only that member is reverted
+	// later by the operator (it stays in Failed).
+	rep := fleet.PushCanary(signed, CanaryConfig{
+		TargetSlot:     2,
+		Canaries:       1,
+		WaveSize:       2,
+		MaxFailureFrac: 0.5,
+		HealthCheck: func(name string, c *Client) error {
+			if name == "c-port" {
+				return errors.New("loss spike")
+			}
+			s, err := c.ReadStats()
+			if err != nil {
+				return err
+			}
+			if !s.Running || s.ActiveSlot != 2 {
+				return errors.New("not on target slot")
+			}
+			return nil
+		},
+	})
+	if rep.RolledBack {
+		t.Fatalf("rollout rolled back under lenient threshold: %+v", rep.Failed)
+	}
+	if len(rep.Updated) != 4 || len(rep.Failed) != 1 {
+		t.Errorf("updated=%d failed=%d", len(rep.Updated), len(rep.Failed))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, m := range mods {
+		if !m.Running() || m.ActiveSlot() != 2 {
+			t.Errorf("%s: running=%v slot=%d", m.Name(), m.Running(), m.ActiveSlot())
+		}
+	}
+}
+
+func TestCanaryEmptyFleet(t *testing.T) {
+	fleet := NewFleet()
+	rep := fleet.PushCanary([]byte{1}, CanaryConfig{TargetSlot: 2})
+	if rep.RolledBack || len(rep.Updated) != 0 || len(rep.Failed) != 0 {
+		t.Errorf("empty fleet report = %+v", rep)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
+	"flexsfp/internal/bitstream"
 	"flexsfp/internal/phy"
 	"flexsfp/internal/ppe"
 )
@@ -32,21 +34,124 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("mgmt: remote error %d: %s", e.Code, e.Text)
 }
 
+// PushError wraps a failure during the chunked OTA push with the stage it
+// happened in. The agent-side FSM guarantees the previously active slot
+// keeps running: nothing is installed or rebooted before a complete,
+// authenticated commit.
+type PushError struct {
+	Slot   int
+	Stage  string // "begin", "chunk", or "commit"
+	Offset int    // byte offset of the failed chunk (Stage == "chunk")
+	Err    error
+}
+
+func (e *PushError) Error() string {
+	if e.Stage == "chunk" {
+		return fmt.Sprintf("mgmt: push to slot %d failed at %s offset %d: %v",
+			e.Slot, e.Stage, e.Offset, e.Err)
+	}
+	return fmt.Sprintf("mgmt: push to slot %d failed at %s: %v", e.Slot, e.Stage, e.Err)
+}
+
+func (e *PushError) Unwrap() error { return e.Err }
+
+// RetryPolicy bounds per-request retries with exponential backoff and
+// deterministic jitter. The zero value disables retrying.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request; values <= 1
+	// mean a single attempt.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each further
+	// retry doubles it, capped at MaxBackoff (when > 0).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Sleep, when non-nil, is called with each computed backoff. Leave
+	// nil in simulated environments: retries then happen back-to-back
+	// but still consume deterministic jitter draws.
+	Sleep func(time.Duration)
+	// RequestTimeout is applied per attempt to deadline-capable
+	// transports (see TCPTransport.SetTimeout) by SetRetryPolicy.
+	RequestTimeout time.Duration
+}
+
+// backoff returns the pre-retry delay for the given request and attempt
+// (0-based). Jitter is derived from (id, attempt) — deterministic for a
+// given request sequence, decorrelated across requests.
+func (p RetryPolicy) backoff(id uint32, attempt int) time.Duration {
+	if p.BaseBackoff <= 0 {
+		return 0
+	}
+	d := p.BaseBackoff << uint(attempt)
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	// SplitMix64-style mix; jitter multiplies the delay into [0.5, 1.0).
+	h := uint64(id)<<32 | uint64(uint32(attempt))
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	frac := float64(h&0xffff) / 0x10000
+	return time.Duration(float64(d) * (0.5 + frac/2))
+}
+
 // Client is the typed management client used by orchestration tooling.
 type Client struct {
-	t     Transport
-	reqID atomic.Uint32
+	t       Transport
+	reqID   atomic.Uint32
+	retry   RetryPolicy
+	retries atomic.Uint64
 }
 
 // NewClient wraps a transport.
 func NewClient(t Transport) *Client { return &Client{t: t} }
 
+// SetRetryPolicy installs the per-request retry/deadline policy. When the
+// transport supports per-request deadlines, RequestTimeout is applied.
+func (c *Client) SetRetryPolicy(p RetryPolicy) {
+	c.retry = p
+	if p.RequestTimeout > 0 {
+		if dt, ok := c.t.(interface{ SetTimeout(time.Duration) }); ok {
+			dt.SetTimeout(p.RequestTimeout)
+		}
+	}
+}
+
+// Retries returns the number of request retries performed so far.
+func (c *Client) Retries() uint64 { return c.retries.Load() }
+
 func (c *Client) do(typ MsgType, body []byte) ([]byte, error) {
 	id := c.reqID.Add(1)
-	resp, err := c.t.Do(Message{Type: typ, ReqID: id, Body: body}.Encode())
-	if err != nil {
-		return nil, err
+	req := Message{Type: typ, ReqID: id, Body: body}.Encode()
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
 	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.t.Do(req)
+		if err == nil {
+			out, perr := parseResponse(id, resp)
+			var re *RemoteError
+			if perr == nil || errors.As(perr, &re) {
+				// A decoded reply — success or a remote rejection —
+				// means the request executed; never retry it.
+				return out, perr
+			}
+			err = perr // corrupted or mismatched response: retryable
+		}
+		lastErr = err
+		if attempt+1 >= attempts {
+			break
+		}
+		c.retries.Add(1)
+		if d := c.retry.backoff(id, attempt); d > 0 && c.retry.Sleep != nil {
+			c.retry.Sleep(d)
+		}
+	}
+	return nil, lastErr
+}
+
+func parseResponse(id uint32, resp []byte) ([]byte, error) {
 	msg, err := DecodeMessage(resp)
 	if err != nil {
 		return nil, err
@@ -217,10 +322,15 @@ type Stats struct {
 	PuntToCPU     uint64
 	Boots         uint64
 	AuthFailures  uint64
-	Engine        ppe.EngineStats
-	Running       bool
-	AppName       string
-	ActiveSlot    int
+
+	BootFailures    uint64
+	GoldenFallbacks uint64
+	WatchdogTrips   uint64
+
+	Engine     ppe.EngineStats
+	Running    bool
+	AppName    string
+	ActiveSlot int
 }
 
 // ReadStats fetches module and engine counters.
@@ -242,6 +352,9 @@ func (c *Client) ReadStats() (Stats, error) {
 	s.PuntToCPU = r.u64()
 	s.Boots = r.u64()
 	s.AuthFailures = r.u64()
+	s.BootFailures = r.u64()
+	s.GoldenFallbacks = r.u64()
+	s.WatchdogTrips = r.u64()
 	s.Engine = ppe.EngineStats{
 		In: r.u64(), InBytes: r.u64(), QueueDrop: r.u64(),
 		Pass: r.u64(), Drop: r.u64(), Tx: r.u64(),
@@ -288,8 +401,35 @@ func (c *Client) Slots() ([]string, error) {
 // XferChunkSize is the OTA transfer chunk size.
 const XferChunkSize = 32 * 1024
 
+// maxPushResumes bounds how many times one push re-syncs with the agent's
+// transfer FSM before giving up.
+const maxPushResumes = 8
+
+// XferStatus reports the agent's transfer FSM state: whether a transfer
+// is active, its target slot and total size, and the contiguous number of
+// bytes acknowledged so far.
+func (c *Client) XferStatus() (active bool, slot, total, acked int, err error) {
+	body, err := c.do(MsgXferStatus, nil)
+	if err != nil {
+		return false, 0, 0, 0, err
+	}
+	r := bodyReader{b: body}
+	active = r.u8() == 1
+	slot = int(r.u8())
+	total = int(r.u32())
+	acked = int(r.u32())
+	return active, slot, total, acked, r.err
+}
+
 // PushBitstream streams a signed bitstream into slot via the chunked
 // transfer FSM, optionally rebooting into it on commit.
+//
+// The push is idempotent under lost responses: after a failed chunk the
+// client re-syncs with XferStatus and resumes from the agent's contiguous
+// acknowledged offset, and after a failed commit it probes whether the
+// commit actually landed before reporting an error. Failures come back as
+// a *PushError wrapping the cause; the previously active slot keeps
+// running on the module.
 func (c *Client) PushBitstream(signed []byte, slot int, rebootAfter bool) error {
 	if len(signed) == 0 {
 		return errors.New("mgmt: empty bitstream")
@@ -303,9 +443,10 @@ func (c *Client) PushBitstream(signed []byte, slot int, rebootAfter bool) error 
 	}
 	w.u32(uint32(len(signed)))
 	if _, err := c.do(MsgXferBegin, w.b); err != nil {
-		return err
+		return &PushError{Slot: slot, Stage: "begin", Err: err}
 	}
-	for off := 0; off < len(signed); off += XferChunkSize {
+	resumes := 0
+	for off := 0; off < len(signed); {
 		end := off + XferChunkSize
 		if end > len(signed) {
 			end = len(signed)
@@ -314,11 +455,57 @@ func (c *Client) PushBitstream(signed []byte, slot int, rebootAfter bool) error 
 		cw.u32(uint32(off))
 		cw.bytes(signed[off:end])
 		if _, err := c.do(MsgXferChunk, cw.b); err != nil {
-			return err
+			var re *RemoteError
+			if errors.As(err, &re) {
+				return &PushError{Slot: slot, Stage: "chunk", Offset: off, Err: err}
+			}
+			// Transport-level failure: the chunk may have been applied
+			// with only its response lost. Re-sync from the agent's
+			// acknowledged high-water mark.
+			resumes++
+			if resumes > maxPushResumes {
+				return &PushError{Slot: slot, Stage: "chunk", Offset: off, Err: err}
+			}
+			active, aslot, total, acked, serr := c.XferStatus()
+			if serr != nil || !active || aslot != slot || total != len(signed) {
+				return &PushError{Slot: slot, Stage: "chunk", Offset: off, Err: err}
+			}
+			off = acked
+			continue
 		}
+		off = end
 	}
-	_, err := c.do(MsgXferCommit, nil)
-	return err
+	if _, err := c.do(MsgXferCommit, nil); err != nil {
+		if c.commitLanded(signed, slot, err) {
+			return nil
+		}
+		return &PushError{Slot: slot, Stage: "commit", Err: err}
+	}
+	return nil
+}
+
+// commitLanded resolves the lost-commit-response ambiguity: if the cause
+// was transport-level (not a remote rejection), the agent no longer has a
+// transfer in flight, and the target slot now holds our application, the
+// commit executed and the push in fact succeeded.
+func (c *Client) commitLanded(signed []byte, slot int, cause error) bool {
+	var re *RemoteError
+	if errors.As(cause, &re) {
+		return false
+	}
+	bs, err := bitstream.Decode(signed) // trailing HMAC bytes are ignored
+	if err != nil {
+		return false
+	}
+	active, _, _, _, serr := c.XferStatus()
+	if serr != nil || active {
+		return false
+	}
+	slots, err := c.Slots()
+	if err != nil || slot < 0 || slot >= len(slots) {
+		return false
+	}
+	return slots[slot] == bs.AppName
 }
 
 // ReadEEPROM fetches and decodes the module's SFF-8472 A0h page.

@@ -1,6 +1,7 @@
 package mgmt
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -55,6 +56,16 @@ func (f *Fleet) Client(name string) (*Client, bool) {
 	return c, ok
 }
 
+// SetRetryPolicy installs the same retry/deadline policy on every current
+// member's client.
+func (f *Fleet) SetRetryPolicy(p RetryPolicy) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, c := range f.members {
+		c.SetRetryPolicy(p)
+	}
+}
+
 // Outcome is one member's result from a fleet operation.
 type Outcome struct {
 	Name string
@@ -63,17 +74,24 @@ type Outcome struct {
 
 // fanOut runs op against every member concurrently.
 func (f *Fleet) fanOut(op func(name string, c *Client) error) []Outcome {
+	return f.fanOutNames(f.Names(), op)
+}
+
+// fanOutNames runs op concurrently against the named members (unknown
+// names are skipped); outcomes come back in the given order.
+func (f *Fleet) fanOutNames(names []string, op func(name string, c *Client) error) []Outcome {
 	f.mu.Lock()
 	type member struct {
 		name string
 		c    *Client
 	}
-	ms := make([]member, 0, len(f.members))
-	for n, c := range f.members {
-		ms = append(ms, member{n, c})
+	ms := make([]member, 0, len(names))
+	for _, n := range names {
+		if c, ok := f.members[n]; ok {
+			ms = append(ms, member{n, c})
+		}
 	}
 	f.mu.Unlock()
-	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
 
 	out := make([]Outcome, len(ms))
 	var wg sync.WaitGroup
@@ -129,6 +147,163 @@ func (f *Fleet) PushAll(signed []byte, slot int, rebootAfter bool) []Outcome {
 	return f.fanOut(func(name string, c *Client) error {
 		return c.PushBitstream(signed, slot, rebootAfter)
 	})
+}
+
+// CanaryConfig tunes a staged fleet rollout.
+type CanaryConfig struct {
+	// TargetSlot is the flash slot the new image is pushed to; every
+	// updated module reboots into it.
+	TargetSlot int
+	// Canaries is how many members (in sorted-name order) are updated
+	// and health-checked before the fleet-wide fan-out; default 1.
+	Canaries int
+	// WaveSize bounds each post-canary batch; 0 = all remaining at once.
+	WaveSize int
+	// MaxFailureFrac is the cumulative failed/attempted fraction above
+	// which the rollout aborts and rolls back; default 0.25.
+	MaxFailureFrac float64
+	// HealthCheck validates a member after its push+reboot. nil uses the
+	// default: the module must report Running with TargetSlot active —
+	// which catches both a dead module and one the watchdog already fell
+	// back to golden.
+	HealthCheck func(name string, c *Client) error
+}
+
+// CanaryReport is the outcome of a staged rollout.
+type CanaryReport struct {
+	Canaries []string // members used as canaries
+	Updated  []string // members pushed and healthy (includes canaries)
+	Failed   []Outcome
+	// RolledBack is set when the failure fraction breached the threshold
+	// and every attempted member — updated or failed — was rebooted back
+	// into its previous slot (best-effort; see RollbackErrs).
+	RolledBack   bool
+	RollbackErrs []Outcome
+	// PrevSlots records each member's active slot before the rollout
+	// (members whose pre-flight stats read failed are absent).
+	PrevSlots map[string]int
+}
+
+// PushCanary performs a canary rollout (§2.1's fleet-wide feature rollout
+// made safe): push the signed image to a few canaries first, verify their
+// health, then fan out in waves — aborting and rebooting every updated
+// member back into its previous slot if the cumulative failure fraction
+// breaches the threshold.
+func (f *Fleet) PushCanary(signed []byte, cfg CanaryConfig) CanaryReport {
+	names := f.Names()
+	rep := CanaryReport{PrevSlots: make(map[string]int)}
+	if len(names) == 0 {
+		return rep
+	}
+	k := cfg.Canaries
+	if k <= 0 {
+		k = 1
+	}
+	if k > len(names) {
+		k = len(names)
+	}
+	maxFrac := cfg.MaxFailureFrac
+	if maxFrac <= 0 {
+		maxFrac = 0.25
+	}
+	health := cfg.HealthCheck
+	if health == nil {
+		health = func(_ string, c *Client) error {
+			s, err := c.ReadStats()
+			if err != nil {
+				return err
+			}
+			if !s.Running {
+				return errors.New("mgmt: module not running after update")
+			}
+			if s.ActiveSlot != cfg.TargetSlot {
+				return fmt.Errorf("mgmt: module recovered on slot %d, not target %d",
+					s.ActiveSlot, cfg.TargetSlot)
+			}
+			return nil
+		}
+	}
+
+	// Pre-flight: remember where everyone is running so we can roll back.
+	stats, _ := f.StatsAll()
+	for n, s := range stats {
+		rep.PrevSlots[n] = s.ActiveSlot
+	}
+
+	attempted, failed := 0, 0
+	wave := func(group []string) {
+		out := f.fanOutNames(group, func(name string, c *Client) error {
+			if err := c.PushBitstream(signed, cfg.TargetSlot, true); err != nil {
+				return err
+			}
+			return health(name, c)
+		})
+		for _, o := range out {
+			attempted++
+			if o.Err != nil {
+				failed++
+				rep.Failed = append(rep.Failed, o)
+			} else {
+				rep.Updated = append(rep.Updated, o.Name)
+			}
+		}
+	}
+	breached := func() bool {
+		return attempted > 0 && float64(failed)/float64(attempted) > maxFrac
+	}
+
+	// rollbackAll reverts every attempted member. Failed members are
+	// included: a member that rebooted into the target slot and flunked
+	// its health check (or recovered onto golden) is exactly the one that
+	// needs restoring; members that never left their previous slot absorb
+	// a harmless reboot into it.
+	rollbackAll := func() {
+		targets := append([]string(nil), rep.Updated...)
+		for _, o := range rep.Failed {
+			targets = append(targets, o.Name)
+		}
+		rep.RolledBack = true
+		rep.RollbackErrs = f.rollback(targets, rep.PrevSlots)
+	}
+
+	rep.Canaries = names[:k]
+	wave(names[:k])
+	if breached() {
+		rollbackAll()
+		return rep
+	}
+	rest := names[k:]
+	step := cfg.WaveSize
+	if step <= 0 {
+		step = len(rest)
+	}
+	for start := 0; start < len(rest); start += step {
+		end := min(start+step, len(rest))
+		wave(rest[start:end])
+		if breached() {
+			rollbackAll()
+			return rep
+		}
+	}
+	return rep
+}
+
+// rollback reboots the named members into their pre-rollout slots.
+func (f *Fleet) rollback(updated []string, prevSlots map[string]int) []Outcome {
+	var errs []Outcome
+	out := f.fanOutNames(updated, func(name string, c *Client) error {
+		prev, ok := prevSlots[name]
+		if !ok {
+			return errors.New("mgmt: previous slot unknown; not rolled back")
+		}
+		return c.Reboot(prev)
+	})
+	for _, o := range out {
+		if o.Err != nil {
+			errs = append(errs, o)
+		}
+	}
+	return errs
 }
 
 // Failures filters outcomes to the failed ones.

@@ -52,6 +52,7 @@ const (
 	MsgXferCommit
 	MsgReboot
 	MsgEEPROM
+	MsgXferStatus
 )
 
 // Error codes carried in MsgError.

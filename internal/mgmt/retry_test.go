@@ -1,0 +1,287 @@
+package mgmt
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"flexsfp/internal/bitstream"
+	"flexsfp/internal/hls"
+)
+
+// signedStatefulImage compiles the stateful app at the given version and
+// signs it with the fleet key.
+func signedStatefulImage(t *testing.T, version uint32) []byte {
+	t.Helper()
+	app := newStatefulApp()
+	prog := app.Program()
+	prog.Version = version
+	d, err := hls.Compile(prog, hls.Options{ClockHz: 156_250_000, DatapathBits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := d.Bitstream.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bitstream.Sign(enc, fleetKey)
+}
+
+func TestRetryRecoversFromTransportErrors(t *testing.T) {
+	_, a, _ := newAgentModule(t)
+	fails := 2
+	c := NewClient(TransportFunc(func(req []byte) ([]byte, error) {
+		if fails > 0 {
+			fails--
+			return nil, errors.New("connection reset")
+		}
+		return a.Handle(req), nil
+	}))
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 4})
+	info, err := c.Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "sfp-7" {
+		t.Errorf("info = %+v", info)
+	}
+	if c.Retries() != 2 {
+		t.Errorf("retries = %d, want 2", c.Retries())
+	}
+}
+
+func TestRetryExhaustionSurfacesLastError(t *testing.T) {
+	boom := errors.New("port unreachable")
+	c := NewClient(TransportFunc(func([]byte) ([]byte, error) { return nil, boom }))
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 3})
+	if _, err := c.Ping(); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the transport error", err)
+	}
+	if c.Retries() != 2 {
+		t.Errorf("retries = %d, want 2 (3 attempts)", c.Retries())
+	}
+}
+
+func TestNoRetryOnRemoteError(t *testing.T) {
+	_, a, _ := newAgentModule(t)
+	c := newDirectClient(a)
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 5})
+	var re *RemoteError
+	if _, err := c.TableGet("no-such-table", []byte{1}); !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	// A decoded rejection means the request executed: retrying would
+	// re-execute non-idempotent operations for no benefit.
+	if c.Retries() != 0 {
+		t.Errorf("retries = %d, want 0", c.Retries())
+	}
+}
+
+func TestRetryOnCorruptedResponse(t *testing.T) {
+	_, a, _ := newAgentModule(t)
+	corrupted := false
+	c := NewClient(TransportFunc(func(req []byte) ([]byte, error) {
+		resp := a.Handle(req)
+		if !corrupted {
+			corrupted = true
+			bad := append([]byte(nil), resp...)
+			bad[0] ^= 0xFF // smash the magic: undecodable
+			return bad, nil
+		}
+		return resp, nil
+	}))
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 3})
+	if _, err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Retries() != 1 {
+		t.Errorf("retries = %d, want 1", c.Retries())
+	}
+}
+
+func TestBackoffExponentialWithDeterministicJitter(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 4, BaseBackoff: 100 * time.Millisecond, MaxBackoff: 300 * time.Millisecond}
+	for attempt, bounds := range []struct{ lo, hi time.Duration }{
+		{50 * time.Millisecond, 100 * time.Millisecond},
+		{100 * time.Millisecond, 200 * time.Millisecond},
+		{150 * time.Millisecond, 300 * time.Millisecond}, // capped at MaxBackoff
+	} {
+		d := p.backoff(7, attempt)
+		if d < bounds.lo || d >= bounds.hi {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v)", attempt, d, bounds.lo, bounds.hi)
+		}
+		if d != p.backoff(7, attempt) {
+			t.Errorf("attempt %d: jitter not deterministic", attempt)
+		}
+	}
+	// Jitter decorrelates across request IDs.
+	varied := false
+	for id := uint32(1); id < 16; id++ {
+		if p.backoff(id, 0) != p.backoff(id+1, 0) {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Error("jitter identical across 16 request IDs")
+	}
+	if (RetryPolicy{MaxAttempts: 3}).backoff(1, 0) != 0 {
+		t.Error("zero BaseBackoff produced a delay")
+	}
+}
+
+func TestRetrySleepsRecordedBackoffs(t *testing.T) {
+	run := func() []time.Duration {
+		var slept []time.Duration
+		c := NewClient(TransportFunc(func([]byte) ([]byte, error) {
+			return nil, errors.New("down")
+		}))
+		c.SetRetryPolicy(RetryPolicy{
+			MaxAttempts: 4,
+			BaseBackoff: 10 * time.Millisecond,
+			Sleep:       func(d time.Duration) { slept = append(slept, d) },
+		})
+		c.Ping()
+		return slept
+	}
+	a, b := run(), run()
+	if len(a) != 3 {
+		t.Fatalf("slept %d times, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("sleep %d: %v vs %v across identical runs", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPushResumesAfterLostChunkResponse(t *testing.T) {
+	m, a, sim := newAgentModule(t)
+	signed := signedStatefulImage(t, 2)
+	dropped := 0
+	c := NewClient(TransportFunc(func(req []byte) ([]byte, error) {
+		if msg, err := DecodeMessage(req); err == nil && msg.Type == MsgXferChunk && dropped == 0 {
+			dropped++
+			a.Handle(req) // the chunk lands; only the response is lost
+			return nil, errors.New("connection dropped")
+		}
+		return a.Handle(req), nil
+	}))
+	// No retry policy: the XferStatus resume path alone must recover.
+	if err := c.PushBitstream(signed, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Fatal("fault never fired")
+	}
+	sim.Run()
+	if !m.Running() || m.ActiveSlot() != 2 {
+		t.Errorf("running=%v slot=%d after resumed push", m.Running(), m.ActiveSlot())
+	}
+}
+
+func TestPushResolvesLostCommitResponse(t *testing.T) {
+	m, a, sim := newAgentModule(t)
+	signed := signedStatefulImage(t, 2)
+	dropped := 0
+	c := NewClient(TransportFunc(func(req []byte) ([]byte, error) {
+		if msg, err := DecodeMessage(req); err == nil && msg.Type == MsgXferCommit && dropped == 0 {
+			dropped++
+			a.Handle(req) // commit executes; the ack is lost
+			return nil, errors.New("connection dropped")
+		}
+		return a.Handle(req), nil
+	}))
+	// The client must probe the agent and discover the commit landed
+	// instead of reporting a spurious failure (or double-committing).
+	if err := c.PushBitstream(signed, 2, true); err != nil {
+		t.Fatalf("lost commit ack reported as failure: %v", err)
+	}
+	sim.Run()
+	if !m.Running() || m.ActiveSlot() != 2 {
+		t.Errorf("running=%v slot=%d", m.Running(), m.ActiveSlot())
+	}
+	if st := m.Stats(); st.Boots != 2 {
+		t.Errorf("boots = %d, want exactly 2 (no double commit)", st.Boots)
+	}
+}
+
+func TestPushGivesUpAfterBoundedResumes(t *testing.T) {
+	_, a, _ := newAgentModule(t)
+	signed := signedStatefulImage(t, 2)
+	c := NewClient(TransportFunc(func(req []byte) ([]byte, error) {
+		if msg, err := DecodeMessage(req); err == nil && msg.Type == MsgXferChunk {
+			return nil, errors.New("connection dropped") // chunk never lands
+		}
+		return a.Handle(req), nil
+	}))
+	err := c.PushBitstream(signed, 2, false)
+	var pe *PushError
+	if !errors.As(err, &pe) || pe.Stage != "chunk" {
+		t.Fatalf("err = %v, want chunk-stage PushError", err)
+	}
+}
+
+func TestPushErrorTypedAndUnwrapped(t *testing.T) {
+	m, a, _ := newAgentModule(t)
+	badSigned := signedStatefulImage(t, 2)
+	badSigned[len(badSigned)-1] ^= 0xFF // break the HMAC tag
+	c := newDirectClient(a)
+	err := c.PushBitstream(badSigned, 2, true)
+	var pe *PushError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PushError", err, err)
+	}
+	if pe.Stage != "commit" || pe.Slot != 2 {
+		t.Errorf("push error = %+v", pe)
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeOpFailed {
+		t.Errorf("cause = %v, want remote CodeOpFailed", pe.Err)
+	}
+	// Error-path consistency: the previous design keeps running and the
+	// target slot stays empty — no partial activation.
+	if !m.Running() || m.ActiveSlot() != 1 {
+		t.Errorf("running=%v slot=%d after failed push", m.Running(), m.ActiveSlot())
+	}
+	slots, err := c.Slots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slots[2] != "" {
+		t.Errorf("slot 2 = %q after failed push, want empty", slots[2])
+	}
+}
+
+func TestXferStatus(t *testing.T) {
+	_, a, _ := newAgentModule(t)
+	c := newDirectClient(a)
+	active, _, _, _, err := c.XferStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if active {
+		t.Error("idle agent reports an active transfer")
+	}
+	// Begin a transfer and send one chunk: status tracks the high-water mark.
+	var w bodyWriter
+	w.u8(3)
+	w.u8(0)
+	w.u32(1000)
+	if _, err := c.do(MsgXferBegin, w.b); err != nil {
+		t.Fatal(err)
+	}
+	var cw bodyWriter
+	cw.u32(0)
+	cw.bytes(make([]byte, 400))
+	if _, err := c.do(MsgXferChunk, cw.b); err != nil {
+		t.Fatal(err)
+	}
+	active, slot, total, acked, err := c.XferStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !active || slot != 3 || total != 1000 || acked != 400 {
+		t.Errorf("status = active=%v slot=%d total=%d acked=%d", active, slot, total, acked)
+	}
+}

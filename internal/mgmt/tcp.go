@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // The out-of-band transport frames protocol messages over a TCP stream
@@ -44,6 +45,14 @@ func readFrame(r io.Reader) ([]byte, error) {
 // management port of §4.1).
 type Server struct {
 	handler func([]byte) []byte
+
+	// ReadTimeout bounds how long a connection may sit idle or trickle
+	// bytes mid-frame before the serving goroutine gives up and closes
+	// it; 0 means no deadline. Set before Listen.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write; a peer that stops
+	// draining its socket cannot wedge the goroutine. 0 = no deadline.
+	WriteTimeout time.Duration
 
 	mu    sync.Mutex
 	ln    net.Listener
@@ -96,11 +105,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	for {
+		if s.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+		}
 		req, err := readFrame(conn)
 		if err != nil {
 			return
 		}
 		resp := s.handler(req)
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
 		if err := writeFrame(conn, resp); err != nil {
 			return
 		}
@@ -124,10 +139,16 @@ func (s *Server) Close() error {
 }
 
 // TCPTransport is a client-side Transport over one TCP connection.
-// Requests are serialized: one in flight at a time.
+// Requests are serialized: one in flight at a time. Any I/O error closes
+// the connection (a half-finished exchange would desynchronize framing);
+// the next Do redials transparently, so a retrying Client recovers from
+// drops without help.
 type TCPTransport struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu      sync.Mutex
+	conn    net.Conn
+	addr    string
+	timeout time.Duration
+	closed  bool
 }
 
 // Dial connects to a module's management address.
@@ -136,7 +157,15 @@ func Dial(addr string) (*TCPTransport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TCPTransport{conn: conn}, nil
+	return &TCPTransport{conn: conn, addr: addr}, nil
+}
+
+// SetTimeout installs a per-request deadline covering the write and the
+// response read; 0 disables it.
+func (t *TCPTransport) SetTimeout(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.timeout = d
 }
 
 // Do implements Transport.
@@ -144,18 +173,42 @@ func (t *TCPTransport) Do(req []byte) ([]byte, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.conn == nil {
-		return nil, errors.New("mgmt: transport closed")
+		if t.closed || t.addr == "" {
+			return nil, errors.New("mgmt: transport closed")
+		}
+		conn, err := net.Dial("tcp", t.addr)
+		if err != nil {
+			return nil, err
+		}
+		t.conn = conn
+	}
+	if t.timeout > 0 {
+		t.conn.SetDeadline(time.Now().Add(t.timeout))
 	}
 	if err := writeFrame(t.conn, req); err != nil {
+		t.dropConnLocked()
 		return nil, err
 	}
-	return readFrame(t.conn)
+	resp, err := readFrame(t.conn)
+	if err != nil {
+		t.dropConnLocked()
+		return nil, err
+	}
+	return resp, nil
 }
 
-// Close closes the connection.
+func (t *TCPTransport) dropConnLocked() {
+	if t.conn != nil {
+		t.conn.Close()
+		t.conn = nil
+	}
+}
+
+// Close closes the connection and disables redialing.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.closed = true
 	if t.conn == nil {
 		return nil
 	}

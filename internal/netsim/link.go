@@ -27,6 +27,10 @@ type Link struct {
 
 	deliver func(data []byte)
 
+	// down is set while the link is administratively or physically down
+	// (a flap); frames offered meanwhile are dropped and counted.
+	down bool
+
 	// busyUntilPs tracks transmitter occupancy in picoseconds so that
 	// back-to-back minimum frames at 10 Gb/s (67.2 ns each) accumulate
 	// without rounding drift; delivery events round up to whole ns.
@@ -38,9 +42,11 @@ type Link struct {
 
 // LinkStats counts traffic carried and dropped by a Link.
 type LinkStats struct {
-	TxFrames uint64 // frames fully serialized onto the wire
-	TxBytes  uint64 // frame bytes (excluding per-frame overhead)
-	Drops    uint64 // frames dropped at a full queue
+	TxFrames  uint64 // frames fully serialized onto the wire
+	TxBytes   uint64 // frame bytes (excluding per-frame overhead)
+	Drops     uint64 // frames dropped at a full queue
+	DownDrops uint64 // frames dropped while the link was down
+	Flaps     uint64 // up→down transitions
 }
 
 // NewLink creates a link inside sim delivering frames to deliver.
@@ -78,6 +84,20 @@ func (l *Link) serializationPs(n int) int64 {
 
 func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
 
+// Up reports whether the link is carrying traffic (true unless downed by
+// SetUp(false), e.g. during an injected flap).
+func (l *Link) Up() bool { return !l.down }
+
+// SetUp raises or lowers the link. While down, Send drops every frame
+// (counted in DownDrops). Lowering an already-down link is a no-op; each
+// effective up→down transition counts one flap.
+func (l *Link) SetUp(up bool) {
+	if !up && !l.down {
+		l.stats.Flaps++
+	}
+	l.down = !up
+}
+
 // Busy reports whether the transmitter is currently serializing a frame.
 func (l *Link) Busy() bool { return int64(l.sim.Now())*1000 < l.busyUntilPs }
 
@@ -88,6 +108,10 @@ func (l *Link) QueueDepth() int { return l.queued }
 // dropped because the transmit queue is full. The data slice is retained
 // until delivery; callers that reuse buffers must copy first.
 func (l *Link) Send(data []byte) bool {
+	if l.down {
+		l.stats.DownDrops++
+		return false
+	}
 	nowPs := int64(l.sim.Now()) * 1000
 	startPs := l.busyUntilPs
 	if startPs < nowPs {

@@ -183,3 +183,32 @@ func TestDeliveryTimeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestLinkDownDropsAndFlaps(t *testing.T) {
+	s := New(1)
+	delivered := 0
+	l := NewLink(s, tenGig, 0, func(data []byte) { delivered++ })
+	if !l.Up() {
+		t.Fatal("new link not up")
+	}
+	if !l.Send(make([]byte, 64)) {
+		t.Fatal("send on an up link refused")
+	}
+	l.SetUp(false)
+	l.SetUp(false) // redundant down: no extra flap
+	if l.Up() {
+		t.Error("link up after SetUp(false)")
+	}
+	if l.Send(make([]byte, 64)) {
+		t.Error("send on a down link accepted")
+	}
+	l.SetUp(true)
+	if !l.Send(make([]byte, 64)) {
+		t.Error("send refused after link recovery")
+	}
+	s.Run()
+	st := l.Stats()
+	if delivered != 2 || st.TxFrames != 2 || st.DownDrops != 1 || st.Flaps != 1 {
+		t.Errorf("delivered=%d stats=%+v", delivered, st)
+	}
+}
