@@ -1,16 +1,23 @@
 GO ?= go
 
 # Packages with real concurrency (fleet fan-out, TCP serving, parallel
-# trial runner, fault-injected transports): the race pass focuses here so
-# `make check` stays fast; `make race-all` still sweeps everything.
-RACE_PKGS = ./internal/mgmt ./internal/netsim ./internal/runner ./internal/faults
+# trial runner, fault-injected transports, the lock-free datapath
+# tables): the race pass focuses here so `make check` stays fast;
+# `make race-all` still sweeps everything.
+RACE_PKGS = ./internal/mgmt ./internal/netsim ./internal/runner ./internal/faults ./internal/ppe
 
-.PHONY: all build test race race-all bench vet fmt check examples reports clean
+# Packages holding the per-frame hot paths; bench-json and the smoke run
+# cover exactly these plus the root end-to-end suites.
+HOT_PKGS = ./internal/ppe ./internal/netsim ./internal/trafficgen .
+
+.PHONY: all build test race race-all bench bench-json smoke vet fmt check examples reports clean
 
 all: build test
 
-# Everything CI cares about: compile, unit tests, race detector, vet.
-check: build test race vet
+# Everything CI cares about: compile, unit tests, race detector, vet,
+# plus the hot-path smoke run (alloc-regression tests and a -benchtime=1x
+# pass over every benchmark) so datapath regressions fail the build.
+check: build test race vet smoke
 
 build:
 	$(GO) build ./...
@@ -26,6 +33,19 @@ race-all:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable hot-path numbers (the blob tracked in
+# docs/BENCH_PR*.json): every benchmark in the hot-path packages, one
+# sample each, as JSON on stdout.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -count=1 $(HOT_PKGS) | $(GO) run ./tools/benchjson
+
+# Fast hot-path gate: zero-alloc regression tests plus one iteration of
+# every benchmark (catches bit-rotted benches and alloc creep without
+# paying for full measurement runs).
+smoke:
+	$(GO) test -run 'ZeroAlloc' ./internal/ppe
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem $(HOT_PKGS) > /dev/null
 
 vet:
 	$(GO) vet ./...

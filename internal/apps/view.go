@@ -184,23 +184,27 @@ func fnv64(b []byte) uint64 {
 // proto(1). IPv6 flows fold their addresses to 32 bits by hashing, which
 // is what a key-width-limited pipeline does.
 func (v *view) fiveTupleKey(buf []byte) []byte {
-	buf = buf[:0]
+	// Direct stores at fixed offsets — the key register a real pipeline
+	// latches field by field, with no intermediate slices.
+	key := buf[:13]
 	switch {
 	case v.isIPv4:
-		buf = append(buf, v.srcIPv4()...)
-		buf = append(buf, v.dstIPv4()...)
+		copy(key[0:4], v.srcIPv4())
+		copy(key[4:8], v.dstIPv4())
 	case v.isIPv6:
 		s := fnv64(v.data[v.l3Off+8 : v.l3Off+24])
 		d := fnv64(v.data[v.l3Off+24 : v.l3Off+40])
-		buf = binary.BigEndian.AppendUint32(buf, uint32(s))
-		buf = binary.BigEndian.AppendUint32(buf, uint32(d))
+		binary.BigEndian.PutUint32(key[0:4], uint32(s))
+		binary.BigEndian.PutUint32(key[4:8], uint32(d))
 	default:
-		buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+		for i := 0; i < 8; i++ {
+			key[i] = 0
+		}
 	}
-	buf = binary.BigEndian.AppendUint16(buf, v.srcPort)
-	buf = binary.BigEndian.AppendUint16(buf, v.dstPort)
-	buf = append(buf, byte(v.proto))
-	return buf
+	binary.BigEndian.PutUint16(key[8:10], v.srcPort)
+	binary.BigEndian.PutUint16(key[10:12], v.dstPort)
+	key[12] = byte(v.proto)
+	return key
 }
 
 // FiveTupleKeyBits is the ACL/LB/flow key width.

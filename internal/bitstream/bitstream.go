@@ -111,6 +111,32 @@ func (b *Bitstream) Encode() ([]byte, error) {
 	return out, nil
 }
 
+// HeaderSize is the length of the fixed encoded header.
+const HeaderSize = headerSize
+
+// EncodedLen inspects an encoded header prefix and returns the total
+// encoded length (header + payload + CRC trailer). ok is false when the
+// prefix cannot be a valid header (too short, bad magic or version, or an
+// oversized payload length) — exactly the cases where Decode would fail
+// before ever looking at the payload. It lets storage layers read just
+// the occupied bytes of a slot instead of the whole region.
+func EncodedLen(header []byte) (total int, ok bool) {
+	if len(header) < headerSize {
+		return 0, false
+	}
+	if !bytes.Equal(header[0:4], magic[:]) {
+		return 0, false
+	}
+	if binary.BigEndian.Uint16(header[4:6]) != FormatVersion {
+		return 0, false
+	}
+	plen := int(binary.BigEndian.Uint32(header[68:72]))
+	if plen > maxPayload {
+		return 0, false
+	}
+	return headerSize + plen + crcSize, true
+}
+
 // Decode parses and integrity-checks an encoded bitstream.
 func Decode(data []byte) (*Bitstream, error) {
 	if len(data) < minEncoded {

@@ -38,9 +38,13 @@ var (
 	ErrBadAlignment = errors.New("flash: misaligned operation")
 )
 
-// Device is the flash array plus wear accounting.
+// Device is the flash array plus wear accounting. The 16 MiB cell array
+// is backed lazily, one sector at a time: a nil sector is in the erased
+// state (all 0xFF) and costs nothing, so a factory-fresh device — of
+// which fleet simulations construct thousands — is a few slice headers
+// instead of a 16 MiB allocation.
 type Device struct {
-	mem       []byte
+	sectors   [][]byte // per-sector cells; nil = erased (all 0xFF)
 	eraseWear []uint32 // per-sector erase count
 
 	// Stats.
@@ -51,14 +55,48 @@ type Device struct {
 
 // New returns a factory-fresh (all 0xFF) device.
 func New() *Device {
-	d := &Device{
-		mem:       make([]byte, SizeBytes),
+	return &Device{
+		sectors:   make([][]byte, NumSectors),
 		eraseWear: make([]uint32, NumSectors),
 	}
-	for i := range d.mem {
-		d.mem[i] = 0xff
+}
+
+// sector materializes and returns the cells of the sector containing
+// addr, filling it with the erased pattern on first touch.
+func (d *Device) sector(addr int) []byte {
+	i := addr / SectorSize
+	s := d.sectors[i]
+	if s == nil {
+		s = make([]byte, SectorSize)
+		for j := range s {
+			s[j] = 0xff
+		}
+		d.sectors[i] = s
 	}
-	return d
+	return s
+}
+
+// readInto copies n bytes starting at addr into out without touching the
+// stats counters (shared by Read and the slot header peek).
+func (d *Device) readInto(out []byte, addr, n int) {
+	for n > 0 {
+		s := d.sectors[addr/SectorSize]
+		off := addr % SectorSize
+		run := SectorSize - off
+		if run > n {
+			run = n
+		}
+		if s == nil {
+			for i := 0; i < run; i++ {
+				out[i] = 0xff
+			}
+		} else {
+			copy(out[:run], s[off:off+run])
+		}
+		out = out[run:]
+		addr += run
+		n -= run
+	}
 }
 
 // Read copies n bytes starting at addr into a fresh slice and returns the
@@ -69,7 +107,7 @@ func (d *Device) Read(addr, n int) ([]byte, netsim.Duration, error) {
 	}
 	d.Reads++
 	out := make([]byte, n)
-	copy(out, d.mem[addr:addr+n])
+	d.readInto(out, addr, n)
 	return out, netsim.Duration(n) * ReadTimePerByte, nil
 }
 
@@ -82,9 +120,7 @@ func (d *Device) EraseSector(addr int) (netsim.Duration, error) {
 	if addr%SectorSize != 0 {
 		return 0, fmt.Errorf("%w: erase at %d", ErrBadAlignment, addr)
 	}
-	for i := addr; i < addr+SectorSize; i++ {
-		d.mem[i] = 0xff
-	}
+	d.sectors[addr/SectorSize] = nil // back to the erased state
 	d.eraseWear[addr/SectorSize]++
 	d.Erases++
 	return SectorEraseTime, nil
@@ -103,16 +139,24 @@ func (d *Device) ProgramPage(addr int, data []byte) (netsim.Duration, error) {
 	if len(data) > PageSize || addr/PageSize != (addr+len(data)-1)/PageSize {
 		return 0, fmt.Errorf("%w: program crosses page boundary at %d (+%d)", ErrBadAlignment, addr, len(data))
 	}
+	// A page never crosses a sector (SectorSize is a multiple of PageSize).
+	cells := d.sector(addr)
+	off := addr % SectorSize
 	for i, b := range data {
-		if d.mem[addr+i]&b != b {
+		if cells[off+i]&b != b {
 			return 0, fmt.Errorf("%w: at %d", ErrNotErased, addr+i)
 		}
 	}
 	for i, b := range data {
-		d.mem[addr+i] &= b
+		cells[off+i] &= b
 	}
 	d.Programs++
 	return PageProgramTime, nil
+}
+
+// cellAt returns a pointer to the cell at addr, materializing its sector.
+func (d *Device) cellAt(addr int) *byte {
+	return &d.sector(addr)[addr%SectorSize]
 }
 
 // SectorWear returns the erase count of the sector containing addr.
@@ -138,7 +182,7 @@ func (d *Device) CorruptRange(addr, n int, rnd func() byte) error {
 		return fmt.Errorf("%w: corrupt [%d,%d)", ErrOutOfRange, addr, addr+n)
 	}
 	for i := addr; i < addr+n; i++ {
-		d.mem[i] &= rnd()
+		*d.cellAt(i) &= rnd()
 	}
 	return nil
 }
@@ -154,7 +198,7 @@ func (d *Device) FlipBits(addr, n, bits int, rng func(int) int) error {
 		return nil
 	}
 	for i := 0; i < bits; i++ {
-		d.mem[addr+rng(n)] ^= 1 << uint(rng(8))
+		*d.cellAt(addr + rng(n)) ^= 1 << uint(rng(8))
 	}
 	return nil
 }

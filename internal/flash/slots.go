@@ -51,21 +51,37 @@ func (d *Device) StoreBitstream(i int, encoded []byte) (netsim.Duration, error) 
 
 // LoadBitstream reads and validates the bitstream in slot i, returning it
 // along with the read time.
+//
+// Only the occupied bytes are transferred: the header is peeked first to
+// learn the encoded length, then exactly that many bytes are read. A slot
+// whose header is invalid (empty or corrupted) is still charged the
+// conservative full-slot scan time the old firmware paid, so boot-path
+// timings are unchanged in every case.
 func (d *Device) LoadBitstream(i int) (*bitstream.Bitstream, netsim.Duration, error) {
 	addr, err := SlotAddr(i)
 	if err != nil {
 		return nil, 0, err
 	}
-	raw, dt, err := d.Read(addr, SlotSize)
+	var hdr [bitstream.HeaderSize]byte
+	d.readInto(hdr[:], addr, len(hdr))
+	// Read at least enough for Decode to reach the same verdict it would
+	// reach on the full slot (magic/version/length checks need the header
+	// plus trailer; a valid header clamped to the slot still yields the
+	// same ErrTooShort).
+	n := bitstream.HeaderSize + bitstream.CRCSize
+	if total, ok := bitstream.EncodedLen(hdr[:]); ok && total <= SlotSize {
+		n = total
+	}
+	raw, dt, err := d.Read(addr, n)
 	if err != nil {
 		return nil, dt, err
 	}
 	bs, err := bitstream.Decode(raw)
 	if err != nil {
-		return nil, dt, fmt.Errorf("%w: %v", ErrSlotEmpty, err)
+		// Same charge as the historical full-slot scan.
+		return nil, netsim.Duration(SlotSize) * ReadTimePerByte, fmt.Errorf("%w: %v", ErrSlotEmpty, err)
 	}
-	// Charge only for the bytes actually occupied; the full-slot read
-	// above is a modeling convenience.
+	// Charge only for the bytes actually occupied.
 	dt = netsim.Duration(bs.Size()) * ReadTimePerByte
 	return bs, dt, nil
 }

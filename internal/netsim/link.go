@@ -37,7 +37,46 @@ type Link struct {
 	busyUntilPs int64
 	queued      int
 
+	// free recycles in-flight frame records (see linkFrame). The link is
+	// single-threaded inside its simulator, so an intrusive list suffices.
+	free *linkFrame
+
 	stats LinkStats
+}
+
+// linkFrame is the pooled record of one in-flight frame. It backs both of
+// the frame's scheduled completions — the tx-done stats tick and the
+// delivery at tx-done + propagation — through the simulator's typed-event
+// fast path, so Send allocates nothing in steady state. The tx-done event
+// is scheduled first and always fires first (earlier-or-equal time,
+// earlier sequence number), which the stage flag relies on.
+type linkFrame struct {
+	l     *Link
+	data  []byte
+	txeod bool // tx-done already fired; next Complete is the delivery
+	next  *linkFrame
+}
+
+// Complete implements netsim.Completer for both of the frame's events.
+func (f *linkFrame) Complete() {
+	l := f.l
+	if !f.txeod {
+		// Frame has left the transmitter.
+		f.txeod = true
+		l.stats.TxFrames++
+		l.stats.TxBytes += uint64(len(f.data))
+		return
+	}
+	if l.queued > 0 {
+		l.queued--
+	}
+	data := f.data
+	f.data = nil
+	f.next = l.free
+	l.free = f
+	if l.deliver != nil {
+		l.deliver(data)
+	}
 }
 
 // LinkStats counts traffic carried and dropped by a Link.
@@ -127,19 +166,17 @@ func (l *Link) Send(data []byte) bool {
 		l.queued++
 	}
 	txDone := Time(ceilDiv(txDonePs, 1000))
-	l.sim.ScheduleAtDetached(txDone, func() {
-		// Frame has left the transmitter.
-		l.stats.TxFrames++
-		l.stats.TxBytes += uint64(len(data))
-	})
-	l.sim.ScheduleAtDetached(txDone.Add(l.Prop), func() {
-		if l.queued > 0 {
-			l.queued--
-		}
-		if l.deliver != nil {
-			l.deliver(data)
-		}
-	})
+	f := l.free
+	if f != nil {
+		l.free = f.next
+		f.next = nil
+		f.txeod = false
+	} else {
+		f = &linkFrame{l: l}
+	}
+	f.data = data
+	l.sim.ScheduleCompletionAt(txDone, f)
+	l.sim.ScheduleCompletionAt(txDone.Add(l.Prop), f)
 	return true
 }
 

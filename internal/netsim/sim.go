@@ -59,11 +59,21 @@ func (d Duration) String() string {
 	}
 }
 
+// Completer is a preallocated completion target for the typed-event fast
+// path: ScheduleCompletionAt fires Complete() on the value directly, so a
+// hot path that owns a reusable completion struct (an engine's pooled
+// frame context, a link's in-flight frame record) schedules work with no
+// closure allocation at all.
+type Completer interface {
+	Complete()
+}
+
 // Event is a scheduled callback. It can be canceled before it fires.
 type Event struct {
 	at       Time
 	seq      uint64 // tie-breaker: FIFO among same-time events
 	fn       func()
+	comp     Completer // typed fast path; used when fn is nil
 	canceled bool
 	pooled   bool // recycled onto the simulator free-list after firing
 	index    int  // heap index, -1 once popped
@@ -175,6 +185,23 @@ func (s *Simulator) ScheduleAtDetached(t Time, fn func()) {
 	s.schedule(t, fn, true)
 }
 
+// ScheduleCompletionAt schedules c.Complete() at absolute time t through
+// the detached free-list, with no closure: the caller keeps ownership of
+// c and may recycle it once Complete has fired. This is the zero-alloc
+// path for per-frame completions (engine verdicts, link deliveries).
+func (s *Simulator) ScheduleCompletionAt(t Time, c Completer) {
+	e := s.schedule(t, nil, true)
+	e.comp = c
+}
+
+// ScheduleCompletion is ScheduleCompletionAt relative to now.
+func (s *Simulator) ScheduleCompletion(d Duration, c Completer) {
+	if d < 0 {
+		d = 0
+	}
+	s.ScheduleCompletionAt(s.now.Add(d), c)
+}
+
 func (s *Simulator) schedule(t Time, fn func(), pooled bool) *Event {
 	if t < s.now {
 		t = s.now
@@ -205,11 +232,17 @@ func (s *Simulator) Step() bool {
 		}
 		s.now = e.at
 		s.fired++
-		e.fn()
+		if e.fn != nil {
+			e.fn()
+		} else if e.comp != nil {
+			e.comp.Complete()
+		}
 		if e.pooled {
-			// Recycle only after fn returns: anything fn scheduled has
-			// already taken its own Event, so no live reference remains.
+			// Recycle only after the callback returns: anything it
+			// scheduled has already taken its own Event, so no live
+			// reference remains.
 			e.fn = nil
+			e.comp = nil
 			s.free = append(s.free, e)
 		}
 		return true
