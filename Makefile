@@ -1,23 +1,24 @@
 GO ?= go
 
 # Packages with real concurrency (fleet fan-out, TCP serving, parallel
-# trial runner, fault-injected transports, the lock-free datapath
-# tables): the race pass focuses here so `make check` stays fast;
-# `make race-all` still sweeps everything.
-RACE_PKGS = ./internal/mgmt ./internal/netsim ./internal/runner ./internal/faults ./internal/ppe
+# trial runner, the registry-driven experiment harness, fault-injected
+# transports, the lock-free datapath tables): the race pass focuses here
+# so `make check` stays fast; `make race-all` still sweeps everything.
+RACE_PKGS = ./internal/mgmt ./internal/netsim ./internal/runner ./internal/exp/... ./internal/faults ./internal/ppe
 
 # Packages holding the per-frame hot paths; bench-json and the smoke run
 # cover exactly these plus the root end-to-end suites.
 HOT_PKGS = ./internal/ppe ./internal/netsim ./internal/trafficgen .
 
-.PHONY: all build test race race-all bench bench-json smoke vet fmt check examples reports clean
+.PHONY: all build test race race-all bench bench-json bench-list smoke vet fmt check examples reports clean
 
 all: build test
 
 # Everything CI cares about: compile, unit tests, race detector, vet,
-# plus the hot-path smoke run (alloc-regression tests and a -benchtime=1x
-# pass over every benchmark) so datapath regressions fail the build.
-check: build test race vet smoke
+# the experiment-registry smoke check, plus the hot-path smoke run
+# (alloc-regression tests and a -benchtime=1x pass over every benchmark)
+# so datapath regressions fail the build.
+check: build test race vet bench-list smoke
 
 build:
 	$(GO) build ./...
@@ -46,6 +47,16 @@ bench-json:
 smoke:
 	$(GO) test -run 'ZeroAlloc' ./internal/ppe
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem $(HOT_PKGS) > /dev/null
+
+# Registry smoke check: the bench binary must enumerate a non-empty
+# experiment catalog with unique names (a broken registration init or a
+# duplicate ID fails the build before anything tries to -run it).
+bench-list:
+	@out="$$($(GO) run ./cmd/flexsfp-bench -list)"; \
+	test -n "$$out" || { echo "bench-list: registry is empty" >&2; exit 1; }; \
+	dups="$$(printf '%s\n' "$$out" | awk '{print $$1}' | sort | uniq -d)"; \
+	test -z "$$dups" || { echo "bench-list: duplicate experiment names: $$dups" >&2; exit 1; }; \
+	echo "bench-list: $$(printf '%s\n' "$$out" | wc -l) experiments registered"
 
 vet:
 	$(GO) vet ./...

@@ -1,23 +1,29 @@
 // Command flexsfp-bench regenerates every table and figure of the
 // FlexSFP paper's evaluation and prints paper-versus-model reports.
 //
+// It is entirely data-driven over the internal/exp registry: every
+// experiment the evaluation suite registers (internal/exp/paper) is
+// addressable by name or glob and takes the same knob set — no
+// per-experiment flag matrix.
+//
 // Usage:
 //
-//	flexsfp-bench                  # run everything
+//	flexsfp-bench                   # run everything
+//	flexsfp-bench -list             # enumerate registered experiments
 //	flexsfp-bench -run table1,power
-//	flexsfp-bench -seed 42
-//	flexsfp-bench -trials 8        # multi-seed runs with 95% CIs
-//	flexsfp-bench -parallel 4      # bound the worker pool
-//	flexsfp-bench -json            # machine-readable results blob
-//	flexsfp-bench -faults          # include the fault-injection sweep
+//	flexsfp-bench -run 'table*'     # glob selection
+//	flexsfp-bench -seed 42          # uniform across all experiments
+//	flexsfp-bench -trials 8         # multi-seed runs with 95% CIs
+//	flexsfp-bench -parallel 4       # bound the worker pool
+//	flexsfp-bench -json             # machine-readable results blob
+//	flexsfp-bench -faults           # include the fault-injection sweep
 //	flexsfp-bench -faults -fault-rate 0.4
+//	flexsfp-bench -clock 312500000 -width 128  # operating-point override
 //
-// Experiments: table1, table2, table3, power, linerate, arch, scale,
-// gap, reliability, formfactor, latency, retrofit, faults.
-//
-// The "faults" chaos experiment only joins "-run all" when -faults is
-// given (it can also be requested by name with -run faults), keeping
-// default outputs byte-identical to fault-free builds.
+// The "faults" chaos experiment is registered opt-in: it only joins
+// wildcard selections ("all", globs) when -faults is given (it can also
+// be requested by name with -run faults), keeping default outputs
+// byte-identical to fault-free builds.
 //
 // Independent experiments run concurrently (bounded by -parallel, or
 // GOMAXPROCS); output order is fixed regardless of completion order,
@@ -30,25 +36,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"sync"
 	"time"
 
-	"flexsfp"
+	"flexsfp/internal/exp"
 	"flexsfp/internal/runner"
+
+	_ "flexsfp/internal/exp/paper" // self-registers the evaluation suite
 )
 
-// experiment is one selectable section: run computes a human-readable
-// report plus a metrics value for the -json blob.
-type experiment struct {
-	name string
-	run  func() (render string, metrics any, err error)
-}
-
-// jsonExperiment is one entry of the -json results blob.
+// jsonExperiment is one entry of the -json results blob: the historical
+// {name, wall_ms, metrics} triple plus the typed envelope additions
+// (params echo and headline summary metrics).
 type jsonExperiment struct {
-	Name    string  `json:"name"`
-	WallMs  float64 `json:"wall_ms"`
-	Metrics any     `json:"metrics"`
+	Name    string       `json:"name"`
+	WallMs  float64      `json:"wall_ms"`
+	Params  exp.Params   `json:"params"`
+	Summary []exp.Metric `json:"summary,omitempty"`
+	Metrics any          `json:"metrics"`
 }
 
 // jsonReport is the top-level -json blob, stable enough to diff across
@@ -62,127 +67,67 @@ type jsonReport struct {
 }
 
 func main() {
-	runList := flag.String("run", "all", "comma-separated experiments to run (all, table1, table2, table3, power, linerate, arch, scale, gap, reliability, formfactor, latency, retrofit)")
-	seed := flag.Int64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list registered experiments and exit")
+	runList := flag.String("run", "all", "comma-separated experiment names or globs (see -list)")
+	seed := flag.Int64("seed", 1, "root simulation seed, applied uniformly to every experiment")
 	trials := flag.Int("trials", 1, "independent seeds per stochastic experiment (>1 reports mean ± 95% CI)")
 	parallel := flag.Int("parallel", 0, "max concurrent workers (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON results blob instead of tables")
-	withFaults := flag.Bool("faults", false, "include the fault-injection sweep in -run all")
+	withFaults := flag.Bool("faults", false, "include the opt-in fault-injection sweep in wildcard selections")
 	faultRate := flag.Float64("fault-rate", 0.2, "max fault-rate multiplier swept by the faults experiment")
+	clockHz := flag.Int64("clock", 0, "PPE clock override in Hz (0 = §5.1 baseline 156.25 MHz)")
+	width := flag.Int("width", 0, "PPE datapath width override in bits (0 = §5.1 baseline 64)")
+	verbose := flag.Bool("v", false, "print experiment progress to stderr")
 	flag.Parse()
 
-	want := map[string]bool{}
-	for _, name := range strings.Split(*runList, ",") {
-		want[strings.TrimSpace(name)] = true
-	}
-	all := want["all"]
-	selected := func(name string) bool {
-		if name == "faults" {
-			// Opt-in under "all" so default reports stay byte-identical.
-			return want[name] || (all && *withFaults)
-		}
-		return all || want[name]
+	if *list {
+		fmt.Print(exp.Default.List())
+		return
 	}
 
-	// The stochastic experiments switch to their multi-seed variants when
-	// -trials asks for more than one.
-	multi := *trials > 1
-	catalog := []experiment{
-		{"table1", func() (string, any, error) {
-			r := flexsfp.Table1()
-			return r.Render(), r, nil
-		}},
-		{"table2", func() (string, any, error) {
-			r := flexsfp.Table2()
-			return r.Render(), r, nil
-		}},
-		{"table3", func() (string, any, error) {
-			r := flexsfp.Table3()
-			return r.Render(), r, nil
-		}},
-		{"power", func() (string, any, error) {
-			if multi {
-				r, err := flexsfp.PowerExperimentTrials(*seed, *trials, *parallel)
-				return r.Render(), r, err
-			}
-			r, err := flexsfp.PowerExperiment(*seed)
-			return r.Render(), r, err
-		}},
-		{"linerate", func() (string, any, error) {
-			if multi {
-				r, err := flexsfp.LineRateExperimentTrials(*seed, *trials, *parallel)
-				return r.Render(), r, err
-			}
-			r, err := flexsfp.LineRateExperiment(*seed)
-			return r.Render(), r, err
-		}},
-		{"arch", func() (string, any, error) {
-			r, err := flexsfp.ArchitectureExperiment(*seed)
-			return r.Render(), r, err
-		}},
-		{"scale", func() (string, any, error) {
-			r := flexsfp.ScalabilityExperiment()
-			return r.Render(), r, nil
-		}},
-		{"gap", func() (string, any, error) {
-			r, err := flexsfp.AccelerationGapExperiment(*seed)
-			return r.Render(), r, err
-		}},
-		{"reliability", func() (string, any, error) {
-			if multi {
-				r := flexsfp.ReliabilityExperimentTrials(*seed, *trials, *parallel)
-				return r.Render(), r, nil
-			}
-			r := flexsfp.ReliabilityExperiment(*seed)
-			return r.Render(), r, nil
-		}},
-		{"formfactor", func() (string, any, error) {
-			r := flexsfp.FormFactorExperiment()
-			return r.Render(), r, nil
-		}},
-		{"retrofit", func() (string, any, error) {
-			r, err := flexsfp.RetrofitEconomicsExperiment()
-			return r.Render(), r, err
-		}},
-		{"latency", func() (string, any, error) {
-			r, err := flexsfp.LatencyOverheadExperiment()
-			return r.Render(), r, err
-		}},
-		{"faults", func() (string, any, error) {
-			r, err := flexsfp.ReconfigUnderFaultsExperiment(*seed, *trials, *parallel, *faultRate)
-			return r.Render(), r, err
-		}},
-	}
-
-	var chosen []experiment
-	for _, e := range catalog {
-		if selected(e.name) {
-			chosen = append(chosen, e)
-		}
+	chosen, err := exp.Default.Select(*runList, *withFaults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flexsfp-bench: %v\n", err)
+		os.Exit(2)
 	}
 	if len(chosen) == 0 {
 		fmt.Fprintf(os.Stderr, "flexsfp-bench: no experiment matched -run=%s\n", *runList)
 		os.Exit(2)
 	}
 
+	ctx := exp.RunContext{
+		Seed:         *seed,
+		Trials:       *trials,
+		Parallelism:  *parallel,
+		FaultRate:    *faultRate,
+		ClockHz:      *clockHz,
+		DatapathBits: *width,
+	}
+	if *verbose {
+		var mu sync.Mutex
+		ctx.Progress = func(msg string) {
+			mu.Lock()
+			fmt.Fprintln(os.Stderr, "flexsfp-bench:", msg)
+			mu.Unlock()
+		}
+	}
+
 	// Run the selected experiments concurrently; each slot records its own
-	// render, metrics, and wall time, and output stays in catalog order.
-	renders := make([]string, len(chosen))
-	metrics := make([]jsonExperiment, len(chosen))
+	// result and wall time, and output stays in registry order.
+	results := make([]exp.Result, len(chosen))
+	wallMs := make([]float64, len(chosen))
 	jobs := make([]func() error, len(chosen))
 	for i, e := range chosen {
 		jobs[i] = func() error {
+			ctx.Progressf("running %s", e.Name())
 			start := time.Now()
-			render, m, err := e.run()
+			res, err := e.Run(ctx)
 			if err != nil {
-				return fmt.Errorf("%s: %w", e.name, err)
+				return fmt.Errorf("%s: %w", e.Name(), err)
 			}
-			renders[i] = render
-			metrics[i] = jsonExperiment{
-				Name:    e.name,
-				WallMs:  float64(time.Since(start).Microseconds()) / 1000,
-				Metrics: m,
-			}
+			results[i] = res
+			wallMs[i] = float64(time.Since(start).Microseconds()) / 1000
+			ctx.Progressf("finished %s (%.1f ms)", e.Name(), wallMs[i])
 			return nil
 		}
 	}
@@ -194,11 +139,20 @@ func main() {
 
 	if *jsonOut {
 		blob := jsonReport{
-			Seed:        *seed,
-			Trials:      *trials,
-			Parallel:    *parallel,
-			WallMs:      float64(time.Since(start).Microseconds()) / 1000,
-			Experiments: metrics,
+			Seed:     *seed,
+			Trials:   *trials,
+			Parallel: *parallel,
+			WallMs:   float64(time.Since(start).Microseconds()) / 1000,
+		}
+		for i, res := range results {
+			env := res.Envelope()
+			blob.Experiments = append(blob.Experiments, jsonExperiment{
+				Name:    env.Name,
+				WallMs:  wallMs[i],
+				Params:  env.Params,
+				Summary: env.Metrics,
+				Metrics: env.Detail,
+			})
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -208,7 +162,7 @@ func main() {
 		}
 		return
 	}
-	for _, r := range renders {
-		fmt.Println(r)
+	for _, res := range results {
+		fmt.Println(res.Render())
 	}
 }

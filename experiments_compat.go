@@ -1,0 +1,234 @@
+package flexsfp
+
+// The experiment harness moved to internal/exp (framework: registry,
+// RunContext, typed result envelopes) and internal/exp/paper (the
+// ported evaluation suite). Everything below is a thin compatibility
+// shim so existing callers of the historical root-level API keep
+// compiling; new code should address experiments through the registry:
+//
+//	import (
+//	    "flexsfp/internal/exp"
+//	    _ "flexsfp/internal/exp/paper" // self-registers the suite
+//	)
+//
+//	e, _ := exp.Default.Lookup("power")
+//	res, err := e.Run(exp.RunContext{Seed: 1, Trials: 8})
+//
+// or simply through `flexsfp-bench -list` / `-run <name>`.
+
+import "flexsfp/internal/exp/paper"
+
+// Table 1 (§5.1).
+type (
+	// Table1Row is one component row.
+	Table1Row = paper.Table1Row
+	// Table1Result reproduces the paper's Table 1.
+	Table1Result = paper.Table1Result
+)
+
+// Table1 synthesizes the NAT design and reports the per-component
+// breakdown against the MPF200T.
+//
+// Deprecated: use the "table1" experiment in internal/exp/paper.
+func Table1() Table1Result { return paper.Table1() }
+
+// Table 2 (§5.1).
+type (
+	// Table2Row is one design's normalized footprint and fit verdict.
+	Table2Row = paper.Table2Row
+	// Table2Result reproduces the paper's Table 2.
+	Table2Result = paper.Table2Result
+)
+
+// Table2 normalizes the cited designs and checks them against the
+// FlexSFP's device.
+//
+// Deprecated: use the "table2" experiment in internal/exp/paper.
+func Table2() Table2Result { return paper.Table2() }
+
+// Table 3 (§5.2).
+
+// Table3Result reproduces the paper's Table 3.
+type Table3Result = paper.Table3Result
+
+// Table3 evaluates the ideal-scaling comparison.
+//
+// Deprecated: use the "table3" experiment in internal/exp/paper.
+func Table3() Table3Result { return paper.Table3() }
+
+// §5 power measurement.
+
+// PowerResult reproduces the Thunderbolt-NIC testbed numbers.
+type PowerResult = paper.PowerResult
+
+// PowerExperiment runs the three-step §5 procedure.
+//
+// Deprecated: use the "power" experiment in internal/exp/paper.
+func PowerExperiment(seed int64) (PowerResult, error) { return paper.PowerExperiment(seed) }
+
+// PowerTrialsResult is the §5 power experiment over many seeds.
+type PowerTrialsResult = paper.PowerTrialsResult
+
+// PowerExperimentTrials runs the §5 power procedure for trials seeds in
+// parallel.
+//
+// Deprecated: run the "power" experiment with RunContext.Trials > 1.
+func PowerExperimentTrials(rootSeed int64, trials, parallelism int) (PowerTrialsResult, error) {
+	return paper.PowerExperimentTrials(rootSeed, trials, parallelism)
+}
+
+// §5.1 line-rate verification.
+type (
+	// LineRatePoint is one frame-size measurement.
+	LineRatePoint = paper.LineRatePoint
+	// LineRateResult is the full sweep.
+	LineRateResult = paper.LineRateResult
+	// LineRatePointTrials is one frame-size point across seeds.
+	LineRatePointTrials = paper.LineRatePointTrials
+	// LineRateTrialsResult is the §5.1 sweep over many seeds.
+	LineRateTrialsResult = paper.LineRateTrialsResult
+)
+
+// LineRateExperiment drives the NAT module at 10G line rate across
+// frame sizes.
+//
+// Deprecated: use the "linerate" experiment in internal/exp/paper.
+func LineRateExperiment(seed int64) (LineRateResult, error) { return paper.LineRateExperiment(seed) }
+
+// LineRateExperimentTrials runs the line-rate sweep for trials seeds in
+// parallel.
+//
+// Deprecated: run the "linerate" experiment with RunContext.Trials > 1.
+func LineRateExperimentTrials(rootSeed int64, trials, parallelism int) (LineRateTrialsResult, error) {
+	return paper.LineRateExperimentTrials(rootSeed, trials, parallelism)
+}
+
+// Figure 1 / §4.1 architecture comparison.
+type (
+	// ArchPoint is one architecture × clock configuration.
+	ArchPoint = paper.ArchPoint
+	// ArchitectureResult compares the Figure-1 shells.
+	ArchitectureResult = paper.ArchitectureResult
+)
+
+// ArchitectureExperiment loads each shell with minimum-size line-rate
+// traffic and measures what survives.
+//
+// Deprecated: use the "arch" experiment in internal/exp/paper.
+func ArchitectureExperiment(seed int64) (ArchitectureResult, error) {
+	return paper.ArchitectureExperiment(seed)
+}
+
+// §5.3 scalability sweep.
+type (
+	// ScalePoint is one (width, clock) design point.
+	ScalePoint = paper.ScalePoint
+	// ScalabilityResult is the §5.3 sweep.
+	ScalabilityResult = paper.ScalabilityResult
+)
+
+// ScalabilityExperiment sweeps the PPE design space. The sweep is
+// deterministic; the historical zero-argument signature runs it with
+// seed 1 (the registry-driven path threads -seed uniformly).
+//
+// Deprecated: use the "scale" experiment in internal/exp/paper.
+func ScalabilityExperiment() ScalabilityResult { return paper.ScalabilityExperiment(1) }
+
+// §2 acceleration gap.
+type (
+	// GapPoint is one path's measured profile.
+	GapPoint = paper.GapPoint
+	// GapResult quantifies the acceleration gap.
+	GapResult = paper.GapResult
+)
+
+// AccelerationGapExperiment runs an ACL micro-task at 1 Mpps over the
+// three paths of §2.
+//
+// Deprecated: use the "gap" experiment in internal/exp/paper.
+func AccelerationGapExperiment(seed int64) (GapResult, error) {
+	return paper.AccelerationGapExperiment(seed)
+}
+
+// §5.3 reliability.
+type (
+	// ReliabilityResult wraps the fleet report.
+	ReliabilityResult = paper.ReliabilityResult
+	// ReliabilityTrialsResult wraps the multi-seed fleet report.
+	ReliabilityTrialsResult = paper.ReliabilityTrialsResult
+)
+
+// ReliabilityExperiment runs the default 10k-module, 10-year fleet.
+//
+// Deprecated: use the "reliability" experiment in internal/exp/paper.
+func ReliabilityExperiment(seed int64) ReliabilityResult { return paper.ReliabilityExperiment(seed) }
+
+// ReliabilityExperimentTrials runs the 10k-module fleet for trials
+// seeds in parallel.
+//
+// Deprecated: run the "reliability" experiment with RunContext.Trials > 1.
+func ReliabilityExperimentTrials(rootSeed int64, trials, parallelism int) ReliabilityTrialsResult {
+	return paper.ReliabilityExperimentTrials(rootSeed, trials, parallelism)
+}
+
+// §6 form-factor scaling.
+
+// FormFactorResult sweeps target rates × process nodes through the
+// form-factor planner.
+type FormFactorResult = paper.FormFactorResult
+
+// FormFactorExperiment plans PPE configurations for 10/25/100/400 Gb/s
+// on 28/16/7 nm silicon. The planner is deterministic; the historical
+// zero-argument signature runs it with seed 1.
+//
+// Deprecated: use the "formfactor" experiment in internal/exp/paper.
+func FormFactorExperiment() FormFactorResult { return paper.FormFactorExperiment(1) }
+
+// §6 latency overhead.
+type (
+	// LatencyPoint compares a plain SFP retimer against the PPE path.
+	LatencyPoint = paper.LatencyPoint
+	// LatencyOverheadResult is the sweep.
+	LatencyOverheadResult = paper.LatencyOverheadResult
+)
+
+// LatencyOverheadExperiment measures the in-cable processing latency
+// the PPE adds over a plain transceiver.
+//
+// Deprecated: use the "latency" experiment in internal/exp/paper.
+func LatencyOverheadExperiment() (LatencyOverheadResult, error) {
+	return paper.LatencyOverheadExperiment()
+}
+
+// §2.1 retrofit economics.
+type (
+	// RetrofitOption is one way to add programmability to a switch.
+	RetrofitOption = paper.RetrofitOption
+	// RetrofitResult is the comparison plus a functional spot check.
+	RetrofitResult = paper.RetrofitResult
+)
+
+// RetrofitEconomicsExperiment prices the §2.1 decision for a 48-port
+// aggregation switch and runs a functional spot check.
+//
+// Deprecated: use the "retrofit" experiment in internal/exp/paper.
+func RetrofitEconomicsExperiment() (RetrofitResult, error) {
+	return paper.RetrofitEconomicsExperiment()
+}
+
+// §4.2 reconfiguration under faults.
+type (
+	// FaultRatePoint aggregates one fault-rate setting across trials.
+	FaultRatePoint = paper.FaultRatePoint
+	// ReconfigUnderFaultsResult is the §4.2 chaos sweep.
+	ReconfigUnderFaultsResult = paper.ReconfigUnderFaultsResult
+)
+
+// ReconfigUnderFaultsExperiment sweeps fault rates over trials
+// independent seeds.
+//
+// Deprecated: use the "faults" experiment in internal/exp/paper (the
+// max rate travels as RunContext.FaultRate).
+func ReconfigUnderFaultsExperiment(rootSeed int64, trials, parallelism int, maxRate float64) (ReconfigUnderFaultsResult, error) {
+	return paper.ReconfigUnderFaultsExperiment(rootSeed, trials, parallelism, maxRate)
+}

@@ -1,12 +1,13 @@
-package flexsfp
+package paper
 
 import (
 	"fmt"
-	"math/rand"
 
 	"flexsfp/internal/apps"
 	"flexsfp/internal/bitstream"
+	"flexsfp/internal/build"
 	"flexsfp/internal/core"
+	"flexsfp/internal/exp"
 	"flexsfp/internal/faults"
 	"flexsfp/internal/fpga"
 	"flexsfp/internal/hls"
@@ -98,7 +99,7 @@ func buildFaultImages() (*faultImages, error) {
 		prog.Version += bumpVersion
 		d, err := hls.Compile(prog, hls.Options{
 			Device: fpga.MPF200T, Shell: hls.TwoWayCore,
-			ClockHz: BaseClockHz, DatapathBits: BaseDatapathBits,
+			ClockHz: build.BaseClockHz, DatapathBits: build.BaseDatapathBits,
 			Golden: golden,
 		})
 		if err != nil {
@@ -120,7 +121,7 @@ func buildFaultImages() (*faultImages, error) {
 	}
 	return &faultImages{
 		registry: registry, golden: golden, v1: v1,
-		signedV2: bitstream.Sign(v2, DefaultAuthKey),
+		signedV2: bitstream.Sign(v2, build.DefaultAuthKey),
 	}, nil
 }
 
@@ -145,7 +146,7 @@ func reconfigFaultsTrial(img *faultImages, trialSeed int64, rateIdx int, rate fl
 		mod := core.NewModule(core.Config{
 			Sim: sim, Name: name, DeviceID: uint32(i + 1),
 			Shell: hls.TwoWayCore, Registry: img.registry,
-			AuthKey: DefaultAuthKey,
+			AuthKey: build.DefaultAuthKey,
 		})
 		if _, err := mod.Install(0, img.golden); err != nil {
 			return faultPoint{}, err
@@ -227,9 +228,13 @@ var faultRateFracs = []float64{0, 0.25, 0.5, 1.0}
 // seeds (workers bounded by parallelism; 0 = GOMAXPROCS). maxRate <= 0
 // defaults to 0.2.
 func ReconfigUnderFaultsExperiment(rootSeed int64, trials, parallelism int, maxRate float64) (ReconfigUnderFaultsResult, error) {
-	if trials <= 0 {
-		trials = 1
-	}
+	return faultsSweep(exp.RunContext{
+		Seed: rootSeed, Trials: trials, Parallelism: parallelism, FaultRate: maxRate,
+	})
+}
+
+func faultsSweep(ctx exp.RunContext) (ReconfigUnderFaultsResult, error) {
+	maxRate := ctx.FaultRate
 	if maxRate <= 0 {
 		maxRate = 0.2
 	}
@@ -237,35 +242,32 @@ func ReconfigUnderFaultsExperiment(rootSeed int64, trials, parallelism int, maxR
 	if err != nil {
 		return ReconfigUnderFaultsResult{}, err
 	}
-	results, err := runner.Map(trials,
-		runner.Options{Seed: rootSeed, Parallelism: parallelism},
-		func(trial int, _ *rand.Rand) ([]faultPoint, error) {
-			trialSeed := runner.TrialSeed(rootSeed, trial)
-			pts := make([]faultPoint, len(faultRateFracs))
-			for ri, frac := range faultRateFracs {
-				p, err := reconfigFaultsTrial(img, trialSeed, ri, frac*maxRate)
-				if err != nil {
-					return nil, err
-				}
-				pts[ri] = p
+	tr, err := exp.RunTrials(ctx, func(_ int, trialSeed int64) ([]faultPoint, error) {
+		pts := make([]faultPoint, len(faultRateFracs))
+		for ri, frac := range faultRateFracs {
+			p, err := reconfigFaultsTrial(img, trialSeed, ri, frac*maxRate)
+			if err != nil {
+				return nil, err
 			}
-			return pts, nil
-		})
+			pts[ri] = p
+		}
+		return pts, nil
+	})
 	if err != nil {
 		return ReconfigUnderFaultsResult{}, err
 	}
-	res := ReconfigUnderFaultsResult{Trials: trials, Modules: faultFleetModules, MaxRate: maxRate}
+	res := ReconfigUnderFaultsResult{Trials: tr.N(), Modules: faultFleetModules, MaxRate: maxRate}
 	for ri, frac := range faultRateFracs {
 		res.Points = append(res.Points, FaultRatePoint{
 			Rate:            frac * maxRate,
-			Availability:    runner.Collect(results, func(r []faultPoint) float64 { return r[ri].avail }),
-			UpgradeRate:     runner.Collect(results, func(r []faultPoint) float64 { return r[ri].upgraded }),
-			RecoveryMs:      runner.Collect(results, func(r []faultPoint) float64 { return r[ri].recoveryMs }),
-			GoldenFallbacks: runner.Collect(results, func(r []faultPoint) float64 { return r[ri].golden }),
-			WatchdogTrips:   runner.Collect(results, func(r []faultPoint) float64 { return r[ri].watchdog }),
-			CanaryRollbacks: runner.Collect(results, func(r []faultPoint) float64 { return r[ri].rollback }),
-			ClientRetries:   runner.Collect(results, func(r []faultPoint) float64 { return r[ri].retries }),
-			InjectedFaults:  runner.Collect(results, func(r []faultPoint) float64 { return r[ri].injected }),
+			Availability:    tr.Metric(func(r []faultPoint) float64 { return r[ri].avail }),
+			UpgradeRate:     tr.Metric(func(r []faultPoint) float64 { return r[ri].upgraded }),
+			RecoveryMs:      tr.Metric(func(r []faultPoint) float64 { return r[ri].recoveryMs }),
+			GoldenFallbacks: tr.Metric(func(r []faultPoint) float64 { return r[ri].golden }),
+			WatchdogTrips:   tr.Metric(func(r []faultPoint) float64 { return r[ri].watchdog }),
+			CanaryRollbacks: tr.Metric(func(r []faultPoint) float64 { return r[ri].rollback }),
+			ClientRetries:   tr.Metric(func(r []faultPoint) float64 { return r[ri].retries }),
+			InjectedFaults:  tr.Metric(func(r []faultPoint) float64 { return r[ri].injected }),
 		})
 	}
 	return res, nil
@@ -273,10 +275,10 @@ func ReconfigUnderFaultsExperiment(rootSeed int64, trials, parallelism int, maxR
 
 // Render formats the chaos sweep.
 func (r ReconfigUnderFaultsResult) Render() string {
-	t := newTable("Fault rate", "Availability", "Upgraded", "Recovery (ms)",
+	t := exp.NewTable("Fault rate", "Availability", "Upgraded", "Recovery (ms)",
 		"Golden fb", "Watchdog", "Rollbacks", "Retries", "Faults")
 	for _, p := range r.Points {
-		t.add(fmt.Sprintf("%.3f", p.Rate),
+		t.Add(fmt.Sprintf("%.3f", p.Rate),
 			fmtCI(p.Availability, 3),
 			fmtCI(p.UpgradeRate, 3),
 			fmtCI(p.RecoveryMs, 1),
@@ -290,4 +292,21 @@ func (r ReconfigUnderFaultsResult) Render() string {
 		"Reconfiguration under faults (§4.2): %d modules, canary rollout (K=%d, waves of %d, rollback >%.0f%% failures), %d trials\n",
 		r.Modules, faultCanaries, faultWaveSize, faultMaxFailFrac*100, r.Trials)
 	return head + t.String()
+}
+
+func runFaults(ctx exp.RunContext) (exp.Result, error) {
+	r, err := faultsSweep(ctx)
+	if err != nil {
+		return nil, err
+	}
+	env := exp.Envelope{Name: "faults", Params: ctx.Params(), Detail: r}
+	if n := len(r.Points); n > 0 {
+		last := r.Points[n-1]
+		env.Metrics = []exp.Metric{
+			exp.Scalar("max_rate", "", r.MaxRate),
+			exp.FromSummary("availability_at_max", "frac", last.Availability),
+			exp.FromSummary("injected_faults_at_max", "", last.InjectedFaults),
+		}
+	}
+	return exp.NewResult(env, r.Render), nil
 }

@@ -1,4 +1,4 @@
-package flexsfp
+package paper
 
 // Cross-layer fault-injection tests: the mgmt OTA path, the flash device,
 // and the core boot FSM exercised together under injected failures.
@@ -7,6 +7,7 @@ import (
 	"errors"
 	"testing"
 
+	"flexsfp/internal/build"
 	"flexsfp/internal/core"
 	"flexsfp/internal/faults"
 	"flexsfp/internal/hls"
@@ -20,7 +21,7 @@ func provisionedModule(t *testing.T, img *faultImages, sim *netsim.Simulator) (*
 	t.Helper()
 	mod := core.NewModule(core.Config{
 		Sim: sim, Name: "sfp-0", DeviceID: 1,
-		Shell: hls.TwoWayCore, Registry: img.registry, AuthKey: DefaultAuthKey,
+		Shell: hls.TwoWayCore, Registry: img.registry, AuthKey: build.DefaultAuthKey,
 	})
 	if _, err := mod.Install(0, img.golden); err != nil {
 		t.Fatal(err)
@@ -148,7 +149,7 @@ func TestTamperedPushLeavesPreviousSlotRunning(t *testing.T) {
 				return resp, nil
 			}))
 
-			bad := inj.TamperSigned(img.signedV2, DefaultAuthKey, tc.mode)
+			bad := inj.TamperSigned(img.signedV2, build.DefaultAuthKey, tc.mode)
 			err := c.PushBitstream(bad, 2, true)
 			var pe *mgmt.PushError
 			if !errors.As(err, &pe) || pe.Stage != "commit" {

@@ -1,4 +1,4 @@
-package flexsfp
+package paper
 
 import (
 	"reflect"

@@ -1,0 +1,114 @@
+package paper
+
+// Golden compatibility tests for the internal/exp port.
+//
+// The files under testdata/ are byte captures of `flexsfp-bench -json`
+// taken BEFORE the experiment harness was ported from the root package
+// into internal/exp/paper:
+//
+//	golden_default.json  flexsfp-bench -json                  (seed 1, trials 1)
+//	golden_trials.json   flexsfp-bench -json -seed 7 -trials 3 -run power,linerate,reliability
+//	golden_faults.json   flexsfp-bench -json -seed 5 -trials 2 -run faults -fault-rate 0.5
+//
+// Each test replays the same run through the registry and asserts the
+// ported experiments produce semantically identical JSON — compared
+// field by field on the legacy `metrics` payload (the result struct),
+// so envelope additions (params echo, summary metrics) and timing
+// fields (wall_ms) are allowed, but any drift in experiment output is
+// not.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"flexsfp/internal/exp"
+)
+
+// goldenReport mirrors the flexsfp-bench -json blob shape.
+type goldenReport struct {
+	Seed        int64 `json:"seed"`
+	Trials      int   `json:"trials"`
+	Parallel    int   `json:"parallel"`
+	Experiments []struct {
+		Name    string          `json:"name"`
+		Metrics json.RawMessage `json:"metrics"`
+	} `json:"experiments"`
+}
+
+func loadGolden(t *testing.T, name string) goldenReport {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	var rep goldenReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("parse golden %s: %v", name, err)
+	}
+	if len(rep.Experiments) == 0 {
+		t.Fatalf("golden %s has no experiments", name)
+	}
+	return rep
+}
+
+// replayGolden runs every experiment recorded in the golden capture
+// through the registry with the capture's recorded knobs and compares
+// the marshalled result struct field by field.
+func replayGolden(t *testing.T, file string, ctx exp.RunContext) {
+	t.Helper()
+	rep := loadGolden(t, file)
+	if rep.Seed != ctx.Seed || rep.Trials != ctx.Trials {
+		t.Fatalf("golden %s recorded seed=%d trials=%d, replaying with seed=%d trials=%d",
+			file, rep.Seed, rep.Trials, ctx.Seed, ctx.Trials)
+	}
+	for _, ge := range rep.Experiments {
+		ge := ge
+		t.Run(ge.Name, func(t *testing.T) {
+			t.Parallel()
+			e, ok := exp.Default.Lookup(ge.Name)
+			if !ok {
+				t.Fatalf("experiment %q from golden capture is not registered", ge.Name)
+			}
+			res, err := e.Run(ctx)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			got, err := json.Marshal(res.Envelope().Detail)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			var want, have any
+			if err := json.Unmarshal(ge.Metrics, &want); err != nil {
+				t.Fatalf("unmarshal golden metrics: %v", err)
+			}
+			if err := json.Unmarshal(got, &have); err != nil {
+				t.Fatalf("unmarshal replay metrics: %v", err)
+			}
+			if !reflect.DeepEqual(want, have) {
+				t.Errorf("ported %s output drifted from pre-refactor capture\ngolden: %s\n   got: %s",
+					ge.Name, ge.Metrics, got)
+			}
+		})
+	}
+}
+
+// TestGoldenDefaultRun pins the default single-trial run of the full
+// visible suite (12 experiments) to the pre-port capture.
+func TestGoldenDefaultRun(t *testing.T) {
+	replayGolden(t, "golden_default.json", exp.RunContext{Seed: 1, Trials: 1, FaultRate: 0.2})
+}
+
+// TestGoldenMultiTrialRun pins the multi-seed aggregation paths (the
+// former *Trials entry points) for the three stochastic experiments.
+func TestGoldenMultiTrialRun(t *testing.T) {
+	replayGolden(t, "golden_trials.json", exp.RunContext{Seed: 7, Trials: 3, FaultRate: 0.2})
+}
+
+// TestGoldenFaultSweep pins the opt-in chaos sweep, including the
+// FaultRate knob that used to be a bespoke -fault-rate plumbing path.
+func TestGoldenFaultSweep(t *testing.T) {
+	replayGolden(t, "golden_faults.json", exp.RunContext{Seed: 5, Trials: 2, FaultRate: 0.5})
+}

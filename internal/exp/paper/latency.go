@@ -1,56 +1,15 @@
-package flexsfp
+package paper
 
 import (
 	"fmt"
 
+	"flexsfp/internal/build"
 	"flexsfp/internal/core"
-	"net/netip"
-
+	"flexsfp/internal/exp"
+	"flexsfp/internal/hls"
 	"flexsfp/internal/netsim"
 	"flexsfp/internal/packet"
 )
-
-// ---------------------------------------------------------------------------
-// §6 form-factor scaling: "can this approach be extended to higher-speed
-// and higher-density form factors like QSFP-DD or OSFP while meeting
-// power and thermal constraints?"
-
-// FormFactorResult sweeps target rates × process nodes through the
-// form-factor planner.
-type FormFactorResult struct {
-	Plans []core.FormFactorPlan
-}
-
-// FormFactorExperiment plans PPE configurations for 10/25/100/400 Gb/s on
-// 28/16/7 nm silicon and reports which pluggable module each lands in.
-func FormFactorExperiment() FormFactorResult {
-	var res FormFactorResult
-	rates := []float64{10, 25, 100, 400}
-	nodes := []core.ProcessNode{core.Node28, core.Node16, core.Node7}
-	for _, rate := range rates {
-		for _, node := range nodes {
-			res.Plans = append(res.Plans, core.PlanFormFactor(rate, node))
-		}
-	}
-	return res
-}
-
-// Render formats the sweep.
-func (r FormFactorResult) Render() string {
-	t := newTable("Target", "Process", "Config", "Capacity (Gb/s)", "Peak W", "Module")
-	for _, p := range r.Plans {
-		if !p.Feasible {
-			t.add(fmt.Sprintf("%.0fG", p.TargetGbps), p.Node.Name, "-", "-", "-", "infeasible")
-			continue
-		}
-		t.add(fmt.Sprintf("%.0fG", p.TargetGbps), p.Node.Name,
-			fmt.Sprintf("%db×%d @ %.0fMHz", p.DatapathBits, p.Engines, float64(p.ClockHz)/1e6),
-			fmt.Sprintf("%.1f", p.CapacityGbps),
-			fmt.Sprintf("%.2f", p.PeakW),
-			p.Module.Name)
-	}
-	return "Form-factor scaling (§6): target rate × silicon node → smallest viable module\n" + t.String()
-}
 
 // ---------------------------------------------------------------------------
 // §6 latency overhead: "which practical impact of introducing processing
@@ -73,19 +32,25 @@ type LatencyOverheadResult struct {
 
 // LatencyOverheadExperiment measures the in-cable processing latency the
 // PPE adds over a plain transceiver, per frame size, by timing single
-// frames through both modules.
+// frames through both modules. Timing single frames draws no
+// randomness, so the result is seed-independent; the historical entry
+// point pins seed 1.
 func LatencyOverheadExperiment() (LatencyOverheadResult, error) {
+	return latencySingle(exp.RunContext{Seed: 1})
+}
+
+func latencySingle(ctx exp.RunContext) (LatencyOverheadResult, error) {
 	var res LatencyOverheadResult
 	for _, size := range []int{64, 256, 512, 1024, 1518} {
 		frame := packet.MustBuild(packet.Spec{
 			SrcMAC: packet.MustMAC("02:00:00:00:00:71"),
 			DstMAC: packet.MustMAC("02:00:00:00:00:72"),
-			SrcIP:  mustAddrE("10.0.0.1"), DstIP: mustAddrE("10.0.0.2"),
+			SrcIP:  mustAddr("10.0.0.1"), DstIP: mustAddr("10.0.0.2"),
 			SrcPort: 1, DstPort: 2, PadTo: size,
 		})
 
 		// Plain SFP.
-		simA := NewSim(1)
+		simA := build.NewSim(ctx.Seed)
 		sfp := core.NewStandardSFP(simA)
 		var plainAt netsim.Time
 		sfp.SetTx(core.PortOptical, func([]byte) { plainAt = simA.Now() })
@@ -93,9 +58,10 @@ func LatencyOverheadExperiment() (LatencyOverheadResult, error) {
 		simA.Run()
 
 		// FlexSFP with NAT.
-		simB := NewSim(1)
-		mod, _, err := BuildModule(simB, ModuleSpec{
-			Name: "lat", DeviceID: 1, Shell: TwoWayCore, App: "nat",
+		simB := build.NewSim(ctx.Seed)
+		mod, _, err := build.Module(simB, build.ModuleSpec{
+			Name: "lat", DeviceID: 1, Shell: hls.TwoWayCore, App: "nat",
+			ClockHz: ctx.ClockHz, DatapathBits: ctx.DatapathBits,
 		})
 		if err != nil {
 			return res, err
@@ -117,9 +83,9 @@ func LatencyOverheadExperiment() (LatencyOverheadResult, error) {
 
 // Render formats the comparison.
 func (r LatencyOverheadResult) Render() string {
-	t := newTable("Frame", "Plain SFP", "FlexSFP (NAT)", "Added")
+	t := exp.NewTable("Frame", "Plain SFP", "FlexSFP (NAT)", "Added")
 	for _, p := range r.Points {
-		t.add(fmt.Sprintf("%dB", p.FrameSize),
+		t.Add(fmt.Sprintf("%dB", p.FrameSize),
 			p.PlainSFP.String(), p.FlexSFP.String(), p.Added.String())
 	}
 	out := "Latency overhead (§6): in-cable processing vs a plain transceiver\n" + t.String()
@@ -127,4 +93,15 @@ func (r LatencyOverheadResult) Render() string {
 	return out
 }
 
-func mustAddrE(s string) netip.Addr { return netip.MustParseAddr(s) }
+func runLatency(ctx exp.RunContext) (exp.Result, error) {
+	r, err := latencySingle(ctx)
+	if err != nil {
+		return nil, err
+	}
+	env := exp.Envelope{Name: "latency", Params: ctx.Params(), Detail: r}
+	for _, p := range r.Points {
+		env.Metrics = append(env.Metrics,
+			exp.Scalar(fmt.Sprintf("added_ns_%db", p.FrameSize), "ns", float64(p.Added)))
+	}
+	return exp.NewResult(env, r.Render), nil
+}

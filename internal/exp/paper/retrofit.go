@@ -1,10 +1,13 @@
-package flexsfp
+package paper
 
 import (
 	"fmt"
 
 	"flexsfp/internal/apps"
+	"flexsfp/internal/build"
 	"flexsfp/internal/core"
+	"flexsfp/internal/exp"
+	"flexsfp/internal/hls"
 	"flexsfp/internal/netsim"
 	"flexsfp/internal/packet"
 	"flexsfp/internal/switchsim"
@@ -42,7 +45,13 @@ type RetrofitResult struct {
 // RetrofitEconomicsExperiment prices the §2.1 decision for a 48-port
 // aggregation switch and runs a functional spot check: a fully
 // FlexSFP-populated switch enforcing an IPv6-filtering policy per port.
+// The spot-check traffic is deterministic; the historical entry point
+// pins seed 1.
 func RetrofitEconomicsExperiment() (RetrofitResult, error) {
+	return retrofitSingle(exp.RunContext{Seed: 1})
+}
+
+func retrofitSingle(ctx exp.RunContext) (RetrofitResult, error) {
 	const ports = 48
 	res := RetrofitResult{
 		Ports: ports,
@@ -79,14 +88,14 @@ func RetrofitEconomicsExperiment() (RetrofitResult, error) {
 	}
 
 	// Functional spot check on a smaller fully-populated switch.
-	sim := NewSim(1)
+	sim := build.NewSim(ctx.Seed)
 	const checkPorts = 8
 	sw := switchsim.New(sim, "retrofit-check", checkPorts)
 	hosts := make([]*switchsim.Host, checkPorts)
 	for i := 0; i < checkPorts; i++ {
-		mod, _, err := BuildModule(sim, ModuleSpec{
+		mod, _, err := build.Module(sim, build.ModuleSpec{
 			Name: fmt.Sprintf("p%d", i), DeviceID: uint32(i + 1),
-			Shell: TwoWayCore, App: "sanitize",
+			Shell: hls.TwoWayCore, App: "sanitize",
 			Config: apps.SanitizeConfig{DropIPv6: true},
 		})
 		if err != nil {
@@ -100,7 +109,7 @@ func RetrofitEconomicsExperiment() (RetrofitResult, error) {
 	for i := 1; i < checkPorts; i++ {
 		hosts[i].Send(packet.MustBuild(packet.Spec{
 			SrcMAC: hosts[i].MAC, DstMAC: hosts[0].MAC,
-			SrcIP: mustAddrE("10.0.0.2"), DstIP: mustAddrE("10.0.0.1"),
+			SrcIP: mustAddr("10.0.0.2"), DstIP: mustAddr("10.0.0.1"),
 			SrcPort: 1, DstPort: 2, PadTo: 64,
 		}))
 	}
@@ -109,7 +118,7 @@ func RetrofitEconomicsExperiment() (RetrofitResult, error) {
 	for i := 1; i < checkPorts; i++ {
 		hosts[i].Send(packet.MustBuild(packet.Spec{
 			SrcMAC: hosts[i].MAC, DstMAC: hosts[0].MAC,
-			SrcIP: mustAddrE("2001:db8::2"), DstIP: mustAddrE("2001:db8::1"),
+			SrcIP: mustAddr("2001:db8::2"), DstIP: mustAddr("2001:db8::1"),
 			SrcPort: 1, DstPort: 2, PadTo: 64,
 		}))
 	}
@@ -121,7 +130,7 @@ func RetrofitEconomicsExperiment() (RetrofitResult, error) {
 
 // Render formats the comparison.
 func (r RetrofitResult) Render() string {
-	t := newTable("Upgrade path", "CAPEX ($)", "Added power (W)", "Drop-in?", "Per-port?")
+	t := exp.NewTable("Upgrade path", "CAPEX ($)", "Added power (W)", "Drop-in?", "Per-port?")
 	for _, o := range r.Options {
 		dis := "yes"
 		if o.Disruptive {
@@ -131,10 +140,30 @@ func (r RetrofitResult) Render() string {
 		if !o.PerPort {
 			pp = "NO"
 		}
-		t.add(o.Name, fmt.Sprintf("%.0f", o.CapexUSD), fmt.Sprintf("%.0f", o.AddedPowerW), dis, pp)
+		t.Add(o.Name, fmt.Sprintf("%.0f", o.CapexUSD), fmt.Sprintf("%.0f", o.AddedPowerW), dis, pp)
 	}
 	out := fmt.Sprintf("Retrofit economics (§2.1): adding per-port programmability to a %d-port legacy switch\n", r.Ports) + t.String()
 	out += fmt.Sprintf("Spot check (8-port sim, IPv6 filter per port): enforced=%v, transceiver power %.1f W\n",
 		r.SpotCheckEnforced, r.SpotCheckPowerW)
 	return out
+}
+
+func runRetrofit(ctx exp.RunContext) (exp.Result, error) {
+	r, err := retrofitSingle(ctx)
+	if err != nil {
+		return nil, err
+	}
+	enforced := 0.0
+	if r.SpotCheckEnforced {
+		enforced = 1
+	}
+	env := exp.Envelope{
+		Name: "retrofit", Params: ctx.Params(), Detail: r,
+		Metrics: []exp.Metric{
+			exp.Scalar("flexsfp_capex_usd", "$", r.Options[0].CapexUSD),
+			exp.Scalar("spot_check_enforced", "bool", enforced),
+			exp.Scalar("spot_check_power_w", "W", r.SpotCheckPowerW),
+		},
+	}
+	return exp.NewResult(env, r.Render), nil
 }

@@ -1,0 +1,209 @@
+package paper
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flexsfp/internal/apps"
+	"flexsfp/internal/build"
+	"flexsfp/internal/cost"
+	"flexsfp/internal/exp"
+	"flexsfp/internal/fpga"
+	"flexsfp/internal/hls"
+	"flexsfp/internal/runner"
+)
+
+// ---------------------------------------------------------------------------
+// Table 1: resource usage for the NAT case study (§5.1).
+
+// Table1Row is one component row.
+type Table1Row struct {
+	Component string
+	Res       fpga.Resources
+}
+
+// Table1Result reproduces the paper's Table 1.
+type Table1Result struct {
+	Rows  []Table1Row
+	Used  fpga.Resources
+	Avail fpga.Resources
+	Util  fpga.Utilization
+	// Paper values for comparison.
+	PaperUsed fpga.Resources
+}
+
+// Table1 synthesizes the NAT design and reports the per-component
+// breakdown against the MPF200T.
+func Table1() Table1Result {
+	var res Table1Result
+	for _, row := range hls.ShellBreakdown(hls.OneWayFilter) {
+		res.Rows = append(res.Rows, Table1Row{row.Name, row.Resources})
+	}
+	natRes := hls.EstimateProgram(apps.NewNAT().Program(), build.BaseDatapathBits)
+	res.Rows = append(res.Rows, Table1Row{"NAT app", natRes})
+	for _, r := range res.Rows {
+		res.Used = res.Used.Add(r.Res)
+	}
+	res.Avail = fpga.MPF200T.Capacity
+	res.Util = fpga.MPF200T.Utilization(res.Used)
+	res.PaperUsed = fpga.Resources{LUT4: 31455, FF: 25518, USRAM: 278, LSRAM: 164}
+	return res
+}
+
+// Render formats the result like the paper's table.
+func (r Table1Result) Render() string {
+	t := exp.NewTable("", "4LUT", "FF", "uSRAM", "LSRAM")
+	for _, row := range r.Rows {
+		t.Add(row.Component, row.Res.LUT4, row.Res.FF, row.Res.USRAM, row.Res.LSRAM)
+	}
+	t.Add("Used", r.Used.LUT4, r.Used.FF, r.Used.USRAM, r.Used.LSRAM)
+	t.Add("Avail.", r.Avail.LUT4, r.Avail.FF, r.Avail.USRAM, r.Avail.LSRAM)
+	// Truncate percentages the way the paper prints them (15%, 26%).
+	t.Add("Perc.",
+		fmt.Sprintf("%d%%", int(r.Util.LUT4)), fmt.Sprintf("%d%%", int(r.Util.FF)),
+		fmt.Sprintf("%d%%", int(r.Util.USRAM)), fmt.Sprintf("%d%%", int(r.Util.LSRAM)))
+	t.Add("Paper Used", r.PaperUsed.LUT4, r.PaperUsed.FF, r.PaperUsed.USRAM, r.PaperUsed.LSRAM)
+	return "Table 1: NAT case study resource usage (MPF200T)\n" + t.String()
+}
+
+func runTable1(ctx exp.RunContext) (exp.Result, error) {
+	r := Table1()
+	env := exp.Envelope{
+		Name: "table1", Params: ctx.Params(), Detail: r,
+		Metrics: []exp.Metric{
+			exp.Scalar("lut4_used", "", float64(r.Used.LUT4)).VsPaper(float64(r.PaperUsed.LUT4)),
+			exp.Scalar("ff_used", "", float64(r.Used.FF)).VsPaper(float64(r.PaperUsed.FF)),
+			exp.Scalar("usram_used", "", float64(r.Used.USRAM)).VsPaper(float64(r.PaperUsed.USRAM)),
+			exp.Scalar("lsram_used", "", float64(r.Used.LSRAM)).VsPaper(float64(r.PaperUsed.LSRAM)),
+		},
+	}
+	return exp.NewResult(env, r.Render), nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: literature designs normalized to LE vs the MPF200T (§5.1).
+
+// Table2Row is one design's normalized footprint and fit verdict.
+type Table2Row struct {
+	Name      string
+	LogicLE   int
+	BRAMKbits int
+	Fits      bool
+	Limiting  string
+}
+
+// Table2Result reproduces the paper's Table 2.
+type Table2Result struct {
+	Rows   []Table2Row
+	Device fpga.Device
+}
+
+// Table2 normalizes the cited designs and checks them against the
+// FlexSFP's device. Rows are independent, so they are evaluated across
+// workers; the merge is by design index, so the table order never
+// depends on scheduling.
+func Table2() Table2Result {
+	designs := fpga.LiteratureDesigns()
+	rows, _ := runner.Map(len(designs), runner.Options{},
+		func(i int, _ *rand.Rand) (Table2Row, error) {
+			d := designs[i]
+			fits, limiting := d.FitsDevice(fpga.MPF200T)
+			return Table2Row{
+				Name:      d.Name,
+				LogicLE:   d.NormalizedLE(),
+				BRAMKbits: d.BRAMKbits,
+				Fits:      fits,
+				Limiting:  limiting,
+			}, nil
+		})
+	return Table2Result{Rows: rows, Device: fpga.MPF200T}
+}
+
+// Render formats the result like the paper's table plus fit verdicts.
+func (r Table2Result) Render() string {
+	t := exp.NewTable("Use case", "Logic (LE)", "BRAM (kbit)", "Fits MPF200T?")
+	for _, row := range r.Rows {
+		verdict := "yes"
+		if !row.Fits {
+			verdict = "no (" + row.Limiting + ")"
+		}
+		t.Add(row.Name, fmt.Sprintf("%dk", (row.LogicLE+500)/1000), row.BRAMKbits, verdict)
+	}
+	t.Add("FlexSFP (MPF200T)", fmt.Sprintf("%dk", r.Device.LogicElements/1000), r.Device.BRAMKbits, "-")
+	return "Table 2: FPGA resource usage of key designs, normalized to 4-input LE\n" + t.String()
+}
+
+func runTable2(ctx exp.RunContext) (exp.Result, error) {
+	r := Table2()
+	fits := 0
+	for _, row := range r.Rows {
+		if row.Fits {
+			fits++
+		}
+	}
+	env := exp.Envelope{
+		Name: "table2", Params: ctx.Params(), Detail: r,
+		Metrics: []exp.Metric{
+			exp.Scalar("designs", "", float64(len(r.Rows))),
+			exp.Scalar("fit_mpf200t", "", float64(fits)),
+		},
+	}
+	return exp.NewResult(env, r.Render), nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 3: cost/power per 10 Gb/s slice (§5.2).
+
+// Table3Result reproduces the paper's Table 3.
+type Table3Result struct {
+	Rows   []cost.Solution
+	Claims cost.Claims
+	// BOM breakdown behind the FlexSFP row.
+	BOM             []cost.BOMItem
+	BOMLow, BOMHigh float64
+}
+
+// Table3 evaluates the ideal-scaling comparison.
+func Table3() Table3Result {
+	rows := cost.Table3()
+	low, high := cost.BOMTotal(cost.FlexSFPBOM())
+	return Table3Result{
+		Rows:   rows,
+		Claims: cost.EvaluateClaims(rows),
+		BOM:    cost.FlexSFPBOM(),
+		BOMLow: low, BOMHigh: high,
+	}
+}
+
+// Render formats raw and scaled columns with paper values alongside.
+func (r Table3Result) Render() string {
+	t := exp.NewTable("Solution", "Raw $", "Raw W", "$/10G (model)", "W/10G (model)", "$/10G (paper)", "W/10G (paper)")
+	for _, s := range r.Rows {
+		cl, ch := s.Per10GCost()
+		t.Add(s.Name,
+			fmt.Sprintf("%.0f-%.0f", s.RawCostLowUSD, s.RawCostHighUSD),
+			fmt.Sprintf("%.1f", s.RawPowerW),
+			fmt.Sprintf("%.0f-%.0f", cl, ch),
+			fmt.Sprintf("%.1f", s.Per10GPower()),
+			fmt.Sprintf("%.0f-%.0f", s.PubPer10GCostLow, s.PubPer10GCostHigh),
+			fmt.Sprintf("%.1f", s.PubPer10GPowerW))
+	}
+	out := "Table 3: raw and ideal-scaled cost/power per 10 Gb/s\n" + t.String()
+	out += fmt.Sprintf("FlexSFP BOM: $%.0f-%.0f prototype; CAPEX saving vs DPU %.0f%%; power ratio vs best SmartNIC %.1fx\n",
+		r.BOMLow, r.BOMHigh, r.Claims.CAPEXSavingVsDPU*100, r.Claims.PowerRatioVsBest)
+	return out
+}
+
+func runTable3(ctx exp.RunContext) (exp.Result, error) {
+	r := Table3()
+	env := exp.Envelope{
+		Name: "table3", Params: ctx.Params(), Detail: r,
+		Metrics: []exp.Metric{
+			exp.Scalar("bom_low_usd", "$", r.BOMLow),
+			exp.Scalar("bom_high_usd", "$", r.BOMHigh),
+			exp.Scalar("capex_saving_vs_dpu", "frac", r.Claims.CAPEXSavingVsDPU),
+			exp.Scalar("power_ratio_vs_best", "x", r.Claims.PowerRatioVsBest),
+		},
+	}
+	return exp.NewResult(env, r.Render), nil
+}

@@ -1,21 +1,25 @@
-package flexsfp
+package exp
 
 import (
 	"fmt"
 	"strings"
 )
 
-// textTable renders aligned columns for the experiment reports.
-type textTable struct {
+// Table renders aligned columns for the experiment reports (moved here
+// from the root package's render.go so every registered experiment —
+// and any future plugin — shares one formatter).
+type Table struct {
 	header []string
 	rows   [][]string
 }
 
-func newTable(header ...string) *textTable {
-	return &textTable{header: header}
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
 }
 
-func (t *textTable) add(cells ...any) {
+// Add appends one row; cells are stringified (%.2f for float64).
+func (t *Table) Add(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -30,7 +34,8 @@ func (t *textTable) add(cells ...any) {
 	t.rows = append(t.rows, row)
 }
 
-func (t *textTable) String() string {
+// String renders the aligned table with a header rule.
+func (t *Table) String() string {
 	widths := make([]int, len(t.header))
 	for i, h := range t.header {
 		widths[i] = len(h)

@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"math/rand"
+
+	"flexsfp/internal/runner"
+)
+
+// Trials holds the per-trial results of the generic multi-trial driver,
+// in trial order.
+type Trials[T any] struct {
+	Results []T
+}
+
+// RunTrials is the generic multi-trial driver every stochastic
+// experiment shares: it runs fn once per trial on the runner's bounded
+// deterministic pool, with trial t's seed derived as ctx.TrialSeed(t).
+// The result slice is merged in trial order, so the reduction — and
+// therefore the experiment — is bit-identical for any parallelism.
+func RunTrials[T any](ctx RunContext, fn func(trial int, seed int64) (T, error)) (Trials[T], error) {
+	n := ctx.EffectiveTrials()
+	results, err := runner.Map(n,
+		runner.Options{Seed: ctx.Seed, Parallelism: ctx.Parallelism},
+		func(trial int, _ *rand.Rand) (T, error) {
+			return fn(trial, ctx.TrialSeed(trial))
+		})
+	if err != nil {
+		return Trials[T]{}, err
+	}
+	return Trials[T]{Results: results}, nil
+}
+
+// N is the number of trials that ran.
+func (t Trials[T]) N() int { return len(t.Results) }
+
+// First returns the first trial's result (every driver run has at least
+// one trial, so this is safe after a nil-error RunTrials).
+func (t Trials[T]) First() T { return t.Results[0] }
+
+// Metric extracts one scalar per trial through f and reduces it with
+// the shared CI math (sample mean, Bessel-corrected stddev, and a
+// normal-approximation 95% interval — runner.Summary).
+func (t Trials[T]) Metric(f func(T) float64) runner.Summary {
+	return runner.Collect(t.Results, f)
+}
+
+// All reports whether pred holds for every trial (e.g. "line rate was
+// sustained in every trial").
+func (t Trials[T]) All(pred func(T) bool) bool {
+	for _, r := range t.Results {
+		if !pred(r) {
+			return false
+		}
+	}
+	return true
+}
