@@ -2,23 +2,25 @@ GO ?= go
 
 # Packages with real concurrency (fleet fan-out, TCP serving, parallel
 # trial runner, the registry-driven experiment harness, fault-injected
-# transports, the lock-free datapath tables): the race pass focuses here
-# so `make check` stays fast; `make race-all` still sweeps everything.
-RACE_PKGS = ./internal/mgmt ./internal/netsim ./internal/runner ./internal/exp/... ./internal/faults ./internal/ppe
+# transports, the lock-free datapath tables, the telemetry record paths):
+# the race pass focuses here so `make check` stays fast; `make race-all`
+# still sweeps everything.
+RACE_PKGS = ./internal/mgmt ./internal/netsim ./internal/runner ./internal/exp/... ./internal/faults ./internal/ppe ./internal/telemetry
 
 # Packages holding the per-frame hot paths; bench-json and the smoke run
 # cover exactly these plus the root end-to-end suites.
 HOT_PKGS = ./internal/ppe ./internal/netsim ./internal/trafficgen .
 
-.PHONY: all build test race race-all bench bench-json bench-list smoke vet fmt check examples reports clean
+.PHONY: all build test race race-all bench bench-json bench-list smoke fuzz-smoke telemetry-smoke vet fmt check examples reports clean
 
 all: build test
 
 # Everything CI cares about: compile, unit tests, race detector, vet,
-# the experiment-registry smoke check, plus the hot-path smoke run
-# (alloc-regression tests and a -benchtime=1x pass over every benchmark)
-# so datapath regressions fail the build.
-check: build test race vet bench-list smoke
+# the experiment-registry smoke check, the hot-path smoke run
+# (alloc-regression tests and a -benchtime=1x pass over every benchmark),
+# a short pass over every native fuzz target, and a race-mode run of the
+# default experiment suite with telemetry attached.
+check: build test race vet bench-list smoke fuzz-smoke telemetry-smoke
 
 build:
 	$(GO) build ./...
@@ -45,8 +47,22 @@ bench-json:
 # every benchmark (catches bit-rotted benches and alloc creep without
 # paying for full measurement runs).
 smoke:
-	$(GO) test -run 'ZeroAlloc' ./internal/ppe
+	$(GO) test -run 'ZeroAlloc' ./internal/ppe ./internal/netsim ./internal/telemetry
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem $(HOT_PKGS) > /dev/null
+
+# Short mutation pass over every native fuzz target (go fuzz accepts one
+# target per invocation). Longer runs: go test -fuzz=<target> <pkg>.
+fuzz-smoke:
+	$(GO) test -fuzz 'FuzzDecodeMessage' -fuzztime 10s ./internal/mgmt > /dev/null
+	$(GO) test -fuzz 'FuzzAgentHandle' -fuzztime 10s ./internal/mgmt > /dev/null
+	$(GO) test -fuzz 'FuzzPacketDecode' -fuzztime 10s ./internal/packet > /dev/null
+	$(GO) test -fuzz 'FuzzParserDecodeLayers' -fuzztime 10s ./internal/packet > /dev/null
+
+# Race-mode run of the default experiment suite with instrumentation
+# attached: the parallel trial runner records into shared registries, so
+# this catches telemetry races the unit tests' synthetic load might miss.
+telemetry-smoke:
+	$(GO) run -race ./cmd/flexsfp-bench -telemetry -run linerate,power -json > /dev/null
 
 # Registry smoke check: the bench binary must enumerate a non-empty
 # experiment catalog with unique names (a broken registration init or a

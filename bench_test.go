@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"flexsfp/internal/apps"
+	"flexsfp/internal/exp"
 	"flexsfp/internal/hls"
 	"flexsfp/internal/netsim"
 	"flexsfp/internal/packet"
@@ -79,6 +80,29 @@ func BenchmarkNATLineRate(b *testing.B) {
 		for _, p := range r.Points {
 			if !p.LineRate {
 				b.Fatalf("%s dropped at line rate", p.Label)
+			}
+		}
+	}
+}
+
+// BenchmarkNATLineRateTelemetry runs the same §5.1 sweep with the
+// in-cable metric registry, latency histograms, and gauges attached —
+// the instrumented-vs-bare delta tracked in docs/BENCH_PR5.json. The
+// instrumentation budget is < 5% over BenchmarkNATLineRate.
+func BenchmarkNATLineRateTelemetry(b *testing.B) {
+	e, ok := exp.Default.Lookup("linerate")
+	if !ok {
+		b.Fatal("linerate experiment not registered")
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(exp.RunContext{Seed: int64(i + 1), Telemetry: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		env := res.Envelope()
+		for _, m := range env.Metrics {
+			if m.Name == "line_rate_all" && m.Mean != 1 {
+				b.Fatal("dropped at line rate under instrumentation")
 			}
 		}
 	}

@@ -19,6 +19,12 @@
 //	flexsfp-bench -faults           # include the fault-injection sweep
 //	flexsfp-bench -faults -fault-rate 0.4
 //	flexsfp-bench -clock 312500000 -width 128  # operating-point override
+//	flexsfp-bench -telemetry -run linerate     # instrumented run
+//
+// -telemetry opts experiments into in-cable instrumentation: modules run
+// with the metric registry attached and headline counters (frames, mean
+// PPE latency) are folded into the result envelopes. Off by default so
+// canonical outputs stay byte-identical.
 //
 // The "faults" chaos experiment is registered opt-in: it only joins
 // wildcard selections ("all", globs) when -faults is given (it can also
@@ -77,6 +83,7 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0.2, "max fault-rate multiplier swept by the faults experiment")
 	clockHz := flag.Int64("clock", 0, "PPE clock override in Hz (0 = §5.1 baseline 156.25 MHz)")
 	width := flag.Int("width", 0, "PPE datapath width override in bits (0 = §5.1 baseline 64)")
+	withTelemetry := flag.Bool("telemetry", false, "instrument experiment modules and fold headline counters into results")
 	verbose := flag.Bool("v", false, "print experiment progress to stderr")
 	flag.Parse()
 
@@ -102,6 +109,7 @@ func main() {
 		FaultRate:    *faultRate,
 		ClockHz:      *clockHz,
 		DatapathBits: *width,
+		Telemetry:    *withTelemetry,
 	}
 	if *verbose {
 		var mu sync.Mutex

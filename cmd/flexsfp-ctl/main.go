@@ -1,12 +1,14 @@
 // Command flexsfp-ctl is the fleet-side management client: it speaks the
 // mgmt protocol to a module's TCP management port (flexsfpd) to inspect
-// state, program tables, and push signed bitstreams over the network —
-// the §4.2 reprogramming workflow.
+// state, program tables, dump live telemetry, and push signed bitstreams
+// over the network — the §4.2 reprogramming workflow.
 //
 // Usage:
 //
 //	flexsfp-ctl -addr 127.0.0.1:9461 ping
 //	flexsfp-ctl stats
+//	flexsfp-ctl metrics
+//	flexsfp-ctl trace -max 32
 //	flexsfp-ctl ddm
 //	flexsfp-ctl slots
 //	flexsfp-ctl table-add -table nat -key 0a010001 -value cb007101
@@ -19,11 +21,13 @@ package main
 
 import (
 	"encoding/hex"
-	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
+
+	"flag"
 
 	"flexsfp"
 	"flexsfp/internal/apps"
@@ -35,29 +39,52 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("flexsfp-ctl: ")
-
-	addr := flag.String("addr", "127.0.0.1:9461", "module management address")
-	flag.Parse()
-	args := flag.Args()
-	if len(args) == 0 {
-		log.Fatal("missing subcommand (ping, stats, ddm, eeprom, slots, table-add, table-del, table-get, table-dump, counter, meter-set, reg-read, reg-write, compile, push, reboot)")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
 	}
-	cmd, rest := args[0], args[1:]
+}
+
+// ctlError is the sentinel check() panics with; run recovers it into a
+// plain error so the command logic can stay linear.
+type ctlError struct{ err error }
+
+// run executes one ctl invocation. Tests drive it in-process with a
+// captured writer; main wires it to os.Args and os.Stdout.
+func run(args []string, out io.Writer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ce, ok := r.(ctlError)
+			if !ok {
+				panic(r)
+			}
+			err = ce.err
+		}
+	}()
+
+	top := flag.NewFlagSet("flexsfp-ctl", flag.ContinueOnError)
+	addr := top.String("addr", "127.0.0.1:9461", "module management address")
+	if err := top.Parse(args); err != nil {
+		return err
+	}
+	rest := top.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing subcommand (ping, stats, metrics, trace, ddm, eeprom, slots, table-add, table-del, table-get, table-dump, counter, meter-set, reg-read, reg-write, compile, push, reboot)")
+	}
+	cmd, rest := rest[0], rest[1:]
 
 	// compile is purely local.
 	if cmd == "compile" {
-		compileCmd(rest)
-		return
+		compileCmd(rest, out)
+		return nil
 	}
 	// fleet-* commands fan out over many modules.
 	if strings.HasPrefix(cmd, "fleet-") {
-		fleetCmd(cmd, rest)
-		return
+		return fleetCmd(cmd, rest, out)
 	}
 
 	tr, err := mgmt.Dial(*addr)
 	if err != nil {
-		log.Fatalf("connecting to %s: %v", *addr, err)
+		return fmt.Errorf("connecting to %s: %w", *addr, err)
 	}
 	defer tr.Close()
 	c := mgmt.NewClient(tr)
@@ -66,28 +93,46 @@ func main() {
 	case "ping":
 		info, err := c.Ping()
 		check(err)
-		fmt.Printf("module %q device=%d app=%s running=%v\n",
+		fmt.Fprintf(out, "module %q device=%d app=%s running=%v\n",
 			info.Name, info.DeviceID, info.AppName, info.Running)
 	case "stats":
 		st, err := c.ReadStats()
 		check(err)
-		fmt.Printf("app=%s slot=%d running=%v\n", st.AppName, st.ActiveSlot, st.Running)
-		fmt.Printf("rx edge/optical/ctrl: %d/%d/%d  tx: %d/%d/%d\n",
+		fmt.Fprintf(out, "app=%s slot=%d running=%v\n", st.AppName, st.ActiveSlot, st.Running)
+		fmt.Fprintf(out, "rx edge/optical/ctrl: %d/%d/%d  tx: %d/%d/%d\n",
 			st.Rx[0], st.Rx[1], st.Rx[2], st.Tx[0], st.Tx[1], st.Tx[2])
-		fmt.Printf("engine: in=%d pass=%d drop=%d tx=%d redirect=%d tocpu=%d qdrop=%d\n",
+		fmt.Fprintf(out, "engine: in=%d pass=%d drop=%d tx=%d redirect=%d tocpu=%d qdrop=%d\n",
 			st.Engine.In, st.Engine.Pass, st.Engine.Drop, st.Engine.Tx,
 			st.Engine.Redirect, st.Engine.ToCPU, st.Engine.QueueDrop)
-		fmt.Printf("control frames=%d reboot drops=%d boots=%d auth failures=%d\n",
+		fmt.Fprintf(out, "control frames=%d reboot drops=%d boots=%d auth failures=%d\n",
 			st.ControlFrames, st.RebootDrops, st.Boots, st.AuthFailures)
+	case "metrics":
+		snap, err := c.Telemetry()
+		check(err)
+		b, err := snap.MarshalJSONIndent()
+		check(err)
+		out.Write(b)
+		fmt.Fprintln(out)
+	case "trace":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		max := fs.Int("max", 0, "cap on most-recent events (0 = all buffered)")
+		parse(fs, rest)
+		evs, err := c.Traces(*max)
+		check(err)
+		for _, e := range evs {
+			fmt.Fprintf(out, "t=%dns frame=%d %s len=%d aux=%d\n",
+				e.TimeNs, e.ID, e.Stage, e.Len, e.Aux)
+		}
+		fmt.Fprintf(out, "%d events\n", len(evs))
 	case "ddm":
 		d, err := c.ReadDDM()
 		check(err)
-		fmt.Printf("temp=%.1fC vcc=%.2fV txbias=%.1fmA txpower=%.1fdBm rxpower=%.1fdBm\n",
+		fmt.Fprintf(out, "temp=%.1fC vcc=%.2fV txbias=%.1fmA txpower=%.1fdBm rxpower=%.1fdBm\n",
 			d.TemperatureC, d.VccVolts, d.TxBiasMA, d.TxPowerDBm, d.RxPowerDBm)
 	case "eeprom":
 		id, _, err := c.ReadEEPROM()
 		check(err)
-		fmt.Printf("vendor=%q pn=%q rev=%q sn=%q date=%s 10GBASE-SR=%v ddm=%v\n",
+		fmt.Fprintf(out, "vendor=%q pn=%q rev=%q sn=%q date=%s 10GBASE-SR=%v ddm=%v\n",
 			id.VendorName, id.VendorPN, id.VendorRev, id.VendorSN,
 			id.DateCode, id.Is10GBaseSR, id.DDMSupported)
 	case "slots":
@@ -97,7 +142,7 @@ func main() {
 			if s == "" {
 				s = "(empty)"
 			}
-			fmt.Printf("slot %d: %s\n", i, s)
+			fmt.Fprintf(out, "slot %d: %s\n", i, s)
 		}
 	case "table-add":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -106,14 +151,14 @@ func main() {
 		value := fs.String("value", "", "hex value")
 		parse(fs, rest)
 		check(c.TableAdd(*table, mustHex(*key), mustHex(*value)))
-		fmt.Println("ok")
+		fmt.Fprintln(out, "ok")
 	case "table-del":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		table := fs.String("table", "", "table name")
 		key := fs.String("key", "", "hex key")
 		parse(fs, rest)
 		check(c.TableDel(*table, mustHex(*key)))
-		fmt.Println("ok")
+		fmt.Fprintln(out, "ok")
 	case "table-get":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		table := fs.String("table", "", "table name")
@@ -121,7 +166,7 @@ func main() {
 		parse(fs, rest)
 		v, err := c.TableGet(*table, mustHex(*key))
 		check(err)
-		fmt.Printf("%x\n", v)
+		fmt.Fprintf(out, "%x\n", v)
 	case "table-dump":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		table := fs.String("table", "", "table name")
@@ -129,9 +174,9 @@ func main() {
 		entries, err := c.TableDump(*table)
 		check(err)
 		for _, e := range entries {
-			fmt.Printf("%x -> %x (hits %d)\n", e.Key, e.Value, e.Hits)
+			fmt.Fprintf(out, "%x -> %x (hits %d)\n", e.Key, e.Value, e.Hits)
 		}
-		fmt.Printf("%d entries\n", len(entries))
+		fmt.Fprintf(out, "%d entries\n", len(entries))
 	case "counter":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		bank := fs.String("bank", "", "counter bank")
@@ -139,7 +184,7 @@ func main() {
 		parse(fs, rest)
 		pkts, bytes, err := c.CounterRead(*bank, *index)
 		check(err)
-		fmt.Printf("packets=%d bytes=%d\n", pkts, bytes)
+		fmt.Fprintf(out, "packets=%d bytes=%d\n", pkts, bytes)
 	case "meter-set":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		bank := fs.String("bank", "", "meter bank")
@@ -148,21 +193,21 @@ func main() {
 		burst := fs.Float64("burst", 0, "burst (bits)")
 		parse(fs, rest)
 		check(c.MeterSet(*bank, *index, *rate, *burst))
-		fmt.Println("ok")
+		fmt.Fprintln(out, "ok")
 	case "reg-read":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		name := fs.String("name", "", "register name")
 		parse(fs, rest)
 		v, err := c.RegRead(*name)
 		check(err)
-		fmt.Println(v)
+		fmt.Fprintln(out, v)
 	case "reg-write":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		name := fs.String("name", "", "register name")
 		value := fs.Uint64("value", 0, "value")
 		parse(fs, rest)
 		check(c.RegWrite(*name, *value))
-		fmt.Println("ok")
+		fmt.Fprintln(out, "ok")
 	case "push":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		file := fs.String("file", "", "signed bitstream file")
@@ -172,24 +217,25 @@ func main() {
 		blob, err := os.ReadFile(*file)
 		check(err)
 		check(c.PushBitstream(blob, *slot, *reboot))
-		fmt.Printf("pushed %d bytes to slot %d (reboot=%v)\n", len(blob), *slot, *reboot)
+		fmt.Fprintf(out, "pushed %d bytes to slot %d (reboot=%v)\n", len(blob), *slot, *reboot)
 	case "reboot":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		slot := fs.Int("slot", 0, "flash slot")
 		parse(fs, rest)
 		check(c.Reboot(*slot))
-		fmt.Println("reboot requested")
+		fmt.Fprintln(out, "reboot requested")
 	default:
-		log.Fatalf("unknown subcommand %q", cmd)
+		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
+	return nil
 }
 
 // compileCmd builds and signs a bitstream locally.
-func compileCmd(args []string) {
+func compileCmd(args []string, out io.Writer) {
 	fs := flag.NewFlagSet("compile", flag.ExitOnError)
 	app := fs.String("app", "", "application name")
 	config := fs.String("config", "", "application config JSON")
-	out := fs.String("out", "app.fsfp", "output file")
+	outFile := fs.String("out", "app.fsfp", "output file")
 	key := fs.String("key", string(flexsfp.DefaultAuthKey), "fleet HMAC key")
 	clock := fs.Int64("clock-hz", flexsfp.BaseClockHz, "PPE clock")
 	width := fs.Int("width", flexsfp.BaseDatapathBits, "datapath bits")
@@ -207,15 +253,15 @@ func compileCmd(args []string) {
 	encoded, err := design.Bitstream.Encode()
 	check(err)
 	signed := bitstream.Sign(encoded, []byte(*key))
-	check(os.WriteFile(*out, signed, 0o644))
-	fmt.Printf("compiled %s: %d LUT4 / %d FF / %d uSRAM / %d LSRAM; wrote %d signed bytes to %s\n",
+	check(os.WriteFile(*outFile, signed, 0o644))
+	fmt.Fprintf(out, "compiled %s: %d LUT4 / %d FF / %d uSRAM / %d LSRAM; wrote %d signed bytes to %s\n",
 		*app, design.Total.LUT4, design.Total.FF, design.Total.USRAM, design.Total.LSRAM,
-		len(signed), *out)
+		len(signed), *outFile)
 }
 
 // fleetCmd fans an operation out over a comma-separated address list
 // (§4.1 fleet orchestration).
-func fleetCmd(cmd string, args []string) {
+func fleetCmd(cmd string, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	addrs := fs.String("addrs", "", "comma-separated module management addresses")
 	file := fs.String("file", "", "signed bitstream file (fleet-push)")
@@ -223,7 +269,7 @@ func fleetCmd(cmd string, args []string) {
 	reboot := fs.Bool("reboot", false, "reboot after push (fleet-push)")
 	parse(fs, args)
 	if *addrs == "" {
-		log.Fatal("fleet commands need -addrs host:port,host:port,...")
+		return fmt.Errorf("fleet commands need -addrs host:port,host:port,...")
 	}
 	fleet := mgmt.NewFleet()
 	for _, addr := range strings.Split(*addrs, ",") {
@@ -238,49 +284,52 @@ func fleetCmd(cmd string, args []string) {
 		infos, outcomes := fleet.PingAll()
 		for _, name := range fleet.Names() {
 			if info, ok := infos[name]; ok {
-				fmt.Printf("%s: module %q device=%d app=%s running=%v\n",
+				fmt.Fprintf(out, "%s: module %q device=%d app=%s running=%v\n",
 					name, info.Name, info.DeviceID, info.AppName, info.Running)
 			}
 		}
-		fmt.Println(mgmt.Summary(outcomes))
+		fmt.Fprintln(out, mgmt.Summary(outcomes))
 	case "fleet-stats":
 		stats, outcomes := fleet.StatsAll()
 		for _, name := range fleet.Names() {
 			if s, ok := stats[name]; ok {
-				fmt.Printf("%s: app=%s in=%d pass=%d drop=%d qdrop=%d\n",
+				fmt.Fprintf(out, "%s: app=%s in=%d pass=%d drop=%d qdrop=%d\n",
 					name, s.AppName, s.Engine.In, s.Engine.Pass, s.Engine.Drop, s.Engine.QueueDrop)
 			}
 		}
-		fmt.Println(mgmt.Summary(outcomes))
+		fmt.Fprintln(out, mgmt.Summary(outcomes))
 	case "fleet-push":
 		blob, err := os.ReadFile(*file)
 		check(err)
 		outcomes := fleet.PushAll(blob, *slot, *reboot)
 		for _, o := range mgmt.Failures(outcomes) {
-			fmt.Printf("%s: FAILED: %v\n", o.Name, o.Err)
+			fmt.Fprintf(out, "%s: FAILED: %v\n", o.Name, o.Err)
 		}
-		fmt.Println(mgmt.Summary(outcomes))
+		fmt.Fprintln(out, mgmt.Summary(outcomes))
 	default:
-		log.Fatalf("unknown fleet subcommand %q (fleet-ping, fleet-stats, fleet-push)", cmd)
+		return fmt.Errorf("unknown fleet subcommand %q (fleet-ping, fleet-stats, fleet-push)", cmd)
 	}
+	return nil
 }
 
 func parse(fs *flag.FlagSet, args []string) {
 	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+		check(err)
 	}
 }
 
 func mustHex(s string) []byte {
 	b, err := hex.DecodeString(s)
 	if err != nil {
-		log.Fatalf("bad hex %q: %v", s, err)
+		check(fmt.Errorf("bad hex %q: %w", s, err))
 	}
 	return b
 }
 
+// check aborts the current run with err; run's recover turns it into the
+// returned error.
 func check(err error) {
 	if err != nil {
-		log.Fatal(err)
+		panic(ctlError{err})
 	}
 }

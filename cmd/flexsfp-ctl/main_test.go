@@ -1,0 +1,155 @@
+package main
+
+// In-process end-to-end test of the daemon + ctl pair: boot flexsfpd on a
+// loopback port via internal/daemon (the same code path cmd/flexsfpd
+// wraps), then drive ctl subcommands — including the telemetry reads —
+// through run() exactly as the CLI would.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"flexsfp/internal/daemon"
+	"flexsfp/internal/telemetry"
+)
+
+const natConfig = `{"direction":"edge-to-optical","mappings":[{"internal":"10.0.0.1","external":"203.0.113.1"}]}`
+
+func startDaemon(t *testing.T, cfg daemon.Config) *daemon.Daemon {
+	t.Helper()
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.Name == "" {
+		cfg.Name = "e2e-0"
+	}
+	if cfg.App == "" {
+		cfg.App = "nat"
+		cfg.ConfigJSON = natConfig
+	}
+	if cfg.Shell == "" {
+		cfg.Shell = "two-way-core"
+	}
+	d, err := daemon.Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func ctl(t *testing.T, addr string, args ...string) string {
+	t.Helper()
+	var buf strings.Builder
+	if err := run(append([]string{"-addr", addr}, args...), &buf); err != nil {
+		t.Fatalf("ctl %v: %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestEndToEnd(t *testing.T) {
+	d := startDaemon(t, daemon.Config{
+		DeviceID: 7, Telemetry: true, TraceEvery: 1,
+		TrafficPPS: 1000, MetricsAddr: "127.0.0.1:0",
+	})
+	addr := d.Addr()
+
+	out := ctl(t, addr, "ping")
+	if !strings.Contains(out, `module "e2e-0" device=7`) {
+		t.Fatalf("ping output: %q", out)
+	}
+
+	out = ctl(t, addr, "stats")
+	if !strings.Contains(out, "app=nat") || !strings.Contains(out, "running=true") {
+		t.Fatalf("stats output: %q", out)
+	}
+
+	// metrics must return the live snapshot as JSON with the traffic the
+	// daemon pre-ran reflected in the PPE counters.
+	out = ctl(t, addr, "metrics")
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(out), &snap); err != nil {
+		t.Fatalf("metrics output not JSON: %v\n%s", err, out)
+	}
+	framesIn, ok := snap.Counter("ppe.frames_in")
+	if !ok || framesIn == 0 {
+		t.Fatalf("ppe.frames_in = %d (ok=%v) in snapshot %s", framesIn, ok, out)
+	}
+	if _, ok := snap.Histogram("ppe.latency_ns"); !ok {
+		t.Fatal("snapshot missing ppe.latency_ns")
+	}
+	if snap.TraceSampled == 0 {
+		t.Fatal("snapshot shows no sampled traces")
+	}
+
+	// trace must dump buffered events, respecting -max.
+	out = ctl(t, addr, "trace", "-max", "8")
+	if !strings.Contains(out, "8 events") {
+		t.Fatalf("trace output: %q", out)
+	}
+	if !strings.Contains(out, "gen") && !strings.Contains(out, "submit") {
+		t.Fatalf("trace output has no recognizable stages: %q", out)
+	}
+
+	// The NAT app's table is programmable over the same session.
+	out = ctl(t, addr, "slots")
+	if !strings.Contains(out, "slot 1:") {
+		t.Fatalf("slots output: %q", out)
+	}
+
+	// HTTP metrics endpoint serves the same snapshot.
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", d.MetricsAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d\n%s", resp.StatusCode, body)
+	}
+	var httpSnap telemetry.Snapshot
+	if err := json.Unmarshal(body, &httpSnap); err != nil {
+		t.Fatalf("HTTP metrics not JSON: %v\n%s", err, body)
+	}
+	if v, _ := httpSnap.Counter("ppe.frames_in"); v != framesIn {
+		t.Fatalf("HTTP snapshot frames_in = %d, ctl saw %d", v, framesIn)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("http://%s/traces", d.MetricsAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var evs []telemetry.TraceEvent
+	if err := json.Unmarshal(body, &evs); err != nil {
+		t.Fatalf("HTTP traces not JSON: %v\n%s", err, body)
+	}
+	if len(evs) == 0 {
+		t.Fatal("HTTP traces empty")
+	}
+}
+
+func TestEndToEndTelemetryDisabled(t *testing.T) {
+	d := startDaemon(t, daemon.Config{Telemetry: false})
+	var buf strings.Builder
+	err := run([]string{"-addr", d.Addr(), "metrics"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "telemetry not enabled") {
+		t.Fatalf("metrics with telemetry off: err=%v out=%q", err, buf.String())
+	}
+	err = run([]string{"-addr", d.Addr(), "trace"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "tracing not enabled") {
+		t.Fatalf("trace with telemetry off: err=%v", err)
+	}
+}
+
+func TestRunUnknownSubcommand(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"bogus"}, &buf); err == nil {
+		t.Fatal("expected error for unknown subcommand")
+	}
+}

@@ -1,16 +1,19 @@
 // Command flexsfpd runs a simulated FlexSFP module with its management
 // core exposed on a real TCP port — the out-of-band control interface of
-// §4.1. Pair it with flexsfp-ctl to read tables and counters, push
-// signed bitstreams, and reboot the module, exactly the workflow a fleet
-// orchestrator would drive.
+// §4.1. Pair it with flexsfp-ctl to read tables, counters, and live
+// telemetry, push signed bitstreams, and reboot the module, exactly the
+// workflow a fleet orchestrator would drive.
 //
 // Usage:
 //
 //	flexsfpd -listen 127.0.0.1:9461 -app nat -shell two-way-core \
-//	         -config '{"mappings":[{"internal":"10.1.0.1","external":"203.0.113.1"}]}'
+//	         -config '{"mappings":[{"internal":"10.1.0.1","external":"203.0.113.1"}]}' \
+//	         -metrics-addr 127.0.0.1:9462
 //
 // The daemon optionally self-generates traffic (-traffic-pps) so that
-// counters and DDM readings move.
+// counters, traces, and DDM readings move. With -metrics-addr set it also
+// serves the telemetry snapshot as JSON over HTTP (GET /metrics) and the
+// packet-trace ring (GET /traces).
 package main
 
 import (
@@ -19,113 +22,53 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"sync"
 	"syscall"
 
 	"flexsfp"
-	"flexsfp/internal/core"
-	"flexsfp/internal/hls"
-	"flexsfp/internal/mgmt"
-	"flexsfp/internal/netsim"
-	"flexsfp/internal/trafficgen"
+	"flexsfp/internal/daemon"
 )
 
 func main() {
 	var (
-		listen     = flag.String("listen", "127.0.0.1:9461", "management TCP listen address")
-		name       = flag.String("name", "flexsfp-0", "module name")
-		deviceID   = flag.Uint("device-id", 1, "fleet device ID")
-		appName    = flag.String("app", "nat", "application to boot")
-		shellName  = flag.String("shell", "two-way-core", "architecture shell (one-way-filter, two-way-core, active-core)")
-		configJSON = flag.String("config", "", "application config JSON (inline)")
-		authKey    = flag.String("key", string(flexsfp.DefaultAuthKey), "fleet HMAC key for OTA pushes")
-		trafficPPS = flag.Float64("traffic-pps", 0, "self-generated traffic rate (0 = none)")
-		seed       = flag.Int64("seed", 1, "simulation seed")
+		listen      = flag.String("listen", "127.0.0.1:9461", "management TCP listen address")
+		name        = flag.String("name", "flexsfp-0", "module name")
+		deviceID    = flag.Uint("device-id", 1, "fleet device ID")
+		appName     = flag.String("app", "nat", "application to boot")
+		shellName   = flag.String("shell", "two-way-core", "architecture shell (one-way-filter, two-way-core, active-core)")
+		configJSON  = flag.String("config", "", "application config JSON (inline)")
+		authKey     = flag.String("key", string(flexsfp.DefaultAuthKey), "fleet HMAC key for OTA pushes")
+		trafficPPS  = flag.Float64("traffic-pps", 0, "self-generated traffic rate (0 = none)")
+		seed        = flag.Int64("seed", 1, "simulation seed")
+		tel         = flag.Bool("telemetry", true, "enable metric registry and packet tracing")
+		traceEvery  = flag.Int("trace-every", 64, "sample 1-in-N frames for tracing")
+		metricsAddr = flag.String("metrics-addr", "", "HTTP address for the JSON metrics endpoint (empty = off)")
 	)
 	flag.Parse()
 
-	shell, err := parseShell(*shellName)
+	d, err := daemon.Start(daemon.Config{
+		Listen: *listen, Name: *name, DeviceID: uint32(*deviceID),
+		App: *appName, Shell: *shellName, ConfigJSON: *configJSON,
+		AuthKey: []byte(*authKey), TrafficPPS: *trafficPPS, Seed: *seed,
+		Telemetry: *tel, TraceEvery: *traceEvery, MetricsAddr: *metricsAddr,
+		Logf: func(format string, args ...any) { log.Printf("flexsfpd: "+format, args...) },
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	sim := flexsfp.NewSim(*seed)
-	var cfg any
-	if *configJSON != "" {
-		cfg = rawJSON(*configJSON)
-	}
-	mod, design, err := flexsfp.BuildModule(sim, flexsfp.ModuleSpec{
-		Name: *name, DeviceID: uint32(*deviceID), Shell: shell,
-		App: *appName, Config: cfg, AuthKey: []byte(*authKey),
-	})
-	if err != nil {
-		log.Fatalf("building module: %v", err)
-	}
-	// Sink both data ports (standalone module on the bench).
-	mod.SetTx(core.PortEdge, func([]byte) {})
-	mod.SetTx(core.PortOptical, func([]byte) {})
-
-	agent := mgmt.NewAgent(mod)
-
-	// The simulator is single-threaded: serialize TCP handlers with sim
-	// execution and drain scheduled events (reboots, flash ops) after
-	// each control operation.
-	var mu sync.Mutex
-	handler := func(req []byte) []byte {
-		mu.Lock()
-		defer mu.Unlock()
-		resp := agent.Handle(req)
-		sim.Run()
-		return resp
-	}
-
-	if *trafficPPS > 0 {
-		mu.Lock()
-		gen := trafficgen.New(sim, trafficgen.Config{PPS: *trafficPPS, Flows: 64},
-			func(b []byte) bool { mod.RxEdge(b); return true })
-		gen.Run(uint64(*trafficPPS)) // one second of traffic
-		sim.RunFor(netsim.Second)
-		gen.Stop()
-		sim.Run()
-		mu.Unlock()
-		log.Printf("pre-ran %.0f pps of traffic for 1s of simulated time", *trafficPPS)
-	}
-
-	srv := mgmt.NewServer(handler)
-	addr, err := srv.Listen(*listen)
-	if err != nil {
-		log.Fatalf("listen: %v", err)
-	}
-	defer srv.Close()
+	defer d.Close()
 
 	fmt.Printf("flexsfpd: module %q (device %d) app=%s shell=%s device=%s\n",
-		*name, *deviceID, *appName, shell, design.Target.Name)
+		*name, *deviceID, *appName, *shellName, d.Design.Target.Name)
 	fmt.Printf("flexsfpd: design %d LUT4 / %d FF / %d uSRAM / %d LSRAM (%s-limited, %.1f%% peak)\n",
-		design.Total.LUT4, design.Total.FF, design.Total.USRAM, design.Total.LSRAM,
-		design.Fit.Limiting, design.Fit.Utilization.Max())
-	fmt.Printf("flexsfpd: management listening on %s\n", addr)
+		d.Design.Total.LUT4, d.Design.Total.FF, d.Design.Total.USRAM, d.Design.Total.LSRAM,
+		d.Design.Fit.Limiting, d.Design.Fit.Utilization.Max())
+	fmt.Printf("flexsfpd: management listening on %s\n", d.Addr())
+	if a := d.MetricsAddr(); a != "" {
+		fmt.Printf("flexsfpd: metrics on http://%s/metrics\n", a)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("flexsfpd: shutting down")
 }
-
-func parseShell(s string) (hls.Shell, error) {
-	switch s {
-	case "one-way-filter":
-		return hls.OneWayFilter, nil
-	case "two-way-core":
-		return hls.TwoWayCore, nil
-	case "active-core":
-		return hls.ActiveCore, nil
-	default:
-		return 0, fmt.Errorf("unknown shell %q", s)
-	}
-}
-
-// rawJSON passes inline JSON through BuildModule's marshaling untouched.
-type rawJSON string
-
-// MarshalJSON implements json.Marshaler.
-func (r rawJSON) MarshalJSON() ([]byte, error) { return []byte(r), nil }

@@ -12,6 +12,7 @@ import (
 	"flexsfp/internal/packet"
 	"flexsfp/internal/phy"
 	"flexsfp/internal/ppe"
+	"flexsfp/internal/telemetry"
 )
 
 // PortID identifies a module interface.
@@ -125,6 +126,11 @@ type Module struct {
 	// burst is the reusable scratch batch the RxBurst entry points stage
 	// data frames in before one SubmitBurst into the engine.
 	burst []ppe.Frame
+
+	// tel and tracer, when attached (AttachTelemetry), instrument the
+	// datapath; the engine re-acquires tel across reboots in bootNow.
+	tel    *ppe.Telemetry
+	tracer *telemetry.Tracer
 
 	stats Stats
 	mac   packet.MAC
@@ -359,6 +365,9 @@ func (m *Module) bootNow(slot int) error {
 	if err := engine.SetProgram(prog); err != nil {
 		return err
 	}
+	if m.tel != nil {
+		engine.SetTelemetry(m.tel)
+	}
 	m.engine = engine
 	m.app = app
 	m.bs = bs
@@ -379,6 +388,9 @@ func (m *Module) RxControl(data []byte) { m.rx(PortControl, data) }
 
 func (m *Module) rx(from PortID, data []byte) {
 	m.stats.Rx[from]++
+	if tr := m.tracer; tr != nil {
+		tr.Hop(tr.Current(), telemetry.StageRx, uint64(m.sim.Now()), len(data), uint8(from))
+	}
 
 	// The arbiter demuxes in-band control frames ahead of the PPE in
 	// every state except a dead module: configuration must stay reachable
@@ -468,6 +480,12 @@ func (m *Module) rxBurst(from PortID, frames [][]byte) {
 }
 
 func (m *Module) verdict(v ppe.Verdict, ctx *ppe.Ctx) {
+	if tr := m.tracer; tr != nil {
+		// The sends below are the synchronous continuation of this frame;
+		// the ambient register carries its trace ID onto the egress link.
+		tr.SetCurrent(ctx.TraceID)
+		defer tr.SetCurrent(0)
+	}
 	ingress, egress := PortEdge, PortOptical
 	if ctx.Dir == ppe.DirOpticalToEdge {
 		ingress, egress = PortOptical, PortEdge
@@ -500,6 +518,9 @@ func (m *Module) send(p PortID, data []byte) {
 		return
 	}
 	m.stats.Tx[p]++
+	if tr := m.tracer; tr != nil {
+		tr.Hop(tr.Current(), telemetry.StageTx, uint64(m.sim.Now()), len(data), uint8(p))
+	}
 	m.tx[p](data)
 }
 

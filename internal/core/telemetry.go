@@ -1,0 +1,80 @@
+package core
+
+import (
+	"flexsfp/internal/ppe"
+	"flexsfp/internal/telemetry"
+)
+
+// AttachTelemetry wires the module into a telemetry registry and returns
+// the engine instrument set. It registers:
+//
+//   - the PPE hot-path instruments (ppe.* counters/histograms), attached
+//     to the running engine and re-attached automatically across reboots;
+//   - snapshot-time gauges for the module port counters, control-plane
+//     activity, engine utilization, and — for the currently running
+//     application — per-table occupancy, lookups and misses;
+//   - packet-trace hops at module ingress (StageRx) and egress (StageTx)
+//     when the registry carries a tracer.
+//
+// Call it once per module after the first boot (table names come from the
+// running app); the gauges read live state at snapshot time, so they stay
+// correct as the module runs. The datapath cost when attached is the
+// zero-alloc record path only; an unattached module is unchanged.
+func (m *Module) AttachTelemetry(reg *telemetry.Registry) *ppe.Telemetry {
+	m.tracer = reg.Tracer()
+	m.tel = ppe.NewTelemetry(reg)
+	if m.engine != nil {
+		m.engine.SetTelemetry(m.tel)
+	}
+	for p := PortEdge; p < numPorts; p++ {
+		p := p
+		reg.GaugeFunc("module.rx."+p.String(), func() float64 { return float64(m.stats.Rx[p]) })
+		reg.GaugeFunc("module.tx."+p.String(), func() float64 { return float64(m.stats.Tx[p]) })
+	}
+	reg.GaugeFunc("module.control_frames", func() float64 { return float64(m.stats.ControlFrames) })
+	reg.GaugeFunc("module.punt_to_cpu", func() float64 { return float64(m.stats.PuntToCPU) })
+	reg.GaugeFunc("module.reboot_drops", func() float64 { return float64(m.stats.RebootDrops) })
+	reg.GaugeFunc("module.boots", func() float64 { return float64(m.stats.Boots) })
+	reg.GaugeFunc("ppe.utilization", func() float64 {
+		if e := m.engine; e != nil {
+			return e.Utilization()
+		}
+		return 0
+	})
+	if m.app != nil {
+		for _, name := range m.app.State().TableNames() {
+			name := name
+			reg.GaugeFunc("table."+name+".entries", func() float64 {
+				return m.tableStat(name, func(t *ppe.Table) float64 { return float64(t.Len()) })
+			})
+			reg.GaugeFunc("table."+name+".lookups", func() float64 {
+				return m.tableStat(name, func(t *ppe.Table) float64 {
+					lookups, _ := t.Stats()
+					return float64(lookups)
+				})
+			})
+			reg.GaugeFunc("table."+name+".misses", func() float64 {
+				return m.tableStat(name, func(t *ppe.Table) float64 {
+					_, misses := t.Stats()
+					return float64(misses)
+				})
+			})
+		}
+	}
+	return m.tel
+}
+
+// tableStat evaluates f against the named exact-match table of whatever
+// app is currently running (0 if the module is empty or the table is gone
+// after a reboot into a different design).
+func (m *Module) tableStat(name string, f func(*ppe.Table) float64) float64 {
+	app := m.app
+	if app == nil {
+		return 0
+	}
+	t, ok := app.State().Table(name)
+	if !ok {
+		return 0
+	}
+	return f(t)
+}

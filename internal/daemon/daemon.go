@@ -1,0 +1,238 @@
+// Package daemon hosts the flexsfpd runtime as an embeddable component:
+// a simulated FlexSFP module with its management agent served over a real
+// TCP port and, optionally, an expvar-style HTTP endpoint exposing the
+// telemetry snapshot. cmd/flexsfpd is a thin flag wrapper around Start;
+// tests boot the same daemon in-process on a loopback port.
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+
+	"flexsfp/internal/build"
+	"flexsfp/internal/core"
+	"flexsfp/internal/hls"
+	"flexsfp/internal/mgmt"
+	"flexsfp/internal/netsim"
+	"flexsfp/internal/telemetry"
+	"flexsfp/internal/trafficgen"
+)
+
+// Config selects what to boot and where to listen.
+type Config struct {
+	Listen     string // management TCP address ("127.0.0.1:0" for tests)
+	Name       string
+	DeviceID   uint32
+	App        string
+	Shell      string // one-way-filter, two-way-core, active-core
+	ConfigJSON string // inline application config, "" for app defaults
+	AuthKey    []byte // fleet HMAC key; nil selects the development key
+	TrafficPPS float64
+	Seed       int64
+
+	// Telemetry enables the metric registry, packet tracer, and the
+	// mgmt-protocol telemetry ops.
+	Telemetry  bool
+	TraceEvery int // sample 1-in-N frames (0 = trace every frame)
+	TraceRing  int // trace ring capacity (0 = default 4096)
+
+	// MetricsAddr, when non-empty, serves the JSON snapshot over HTTP
+	// (GET /metrics, GET /traces). Requires Telemetry.
+	MetricsAddr string
+
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Daemon is a running module plus its management server.
+type Daemon struct {
+	Design *hls.Design
+
+	cfg  Config
+	sim  *netsim.Simulator
+	mod  *core.Module
+	reg  *telemetry.Registry
+	srv  *mgmt.Server
+	addr string
+
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	// mu serializes all access to the single-threaded simulator: mgmt
+	// handlers, HTTP snapshot reads, and the traffic pre-run.
+	mu sync.Mutex
+}
+
+// Start boots the module and begins serving. Callers own the returned
+// daemon and must Close it.
+func Start(cfg Config) (*Daemon, error) {
+	shell, err := ParseShell(cfg.Shell)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.AuthKey == nil {
+		cfg.AuthKey = build.DefaultAuthKey
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	sim := build.NewSim(cfg.Seed)
+	var appCfg any
+	if cfg.ConfigJSON != "" {
+		appCfg = json.RawMessage(cfg.ConfigJSON)
+	}
+	mod, design, err := build.Module(sim, build.ModuleSpec{
+		Name: cfg.Name, DeviceID: cfg.DeviceID, Shell: shell,
+		App: cfg.App, Config: appCfg, AuthKey: cfg.AuthKey,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("building module: %w", err)
+	}
+	// Sink both data ports (standalone module on the bench).
+	mod.SetTx(core.PortEdge, func([]byte) {})
+	mod.SetTx(core.PortOptical, func([]byte) {})
+
+	d := &Daemon{Design: design, cfg: cfg, sim: sim, mod: mod}
+	agent := mgmt.NewAgent(mod)
+
+	var tracer *telemetry.Tracer
+	if cfg.Telemetry {
+		every := cfg.TraceEvery
+		if every == 0 {
+			every = 1
+		}
+		ring := cfg.TraceRing
+		if ring == 0 {
+			ring = 4096
+		}
+		d.reg = telemetry.New()
+		tracer = telemetry.NewTracer(every, ring)
+		d.reg.SetTracer(tracer)
+		mod.AttachTelemetry(d.reg)
+		sim.AttachTelemetry(d.reg, "sim")
+		agent.SetTelemetry(d.reg)
+	}
+
+	handler := func(req []byte) []byte {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		resp := agent.Handle(req)
+		sim.Run()
+		return resp
+	}
+
+	if cfg.TrafficPPS > 0 {
+		d.mu.Lock()
+		gen := trafficgen.New(sim, trafficgen.Config{PPS: cfg.TrafficPPS, Flows: 64},
+			func(b []byte) bool { mod.RxEdge(b); return true })
+		if tracer != nil {
+			gen.SetTracer(tracer)
+		}
+		gen.Run(uint64(cfg.TrafficPPS)) // one second of traffic
+		sim.RunFor(netsim.Second)
+		gen.Stop()
+		sim.Run()
+		d.mu.Unlock()
+		logf("pre-ran %.0f pps of traffic for 1s of simulated time", cfg.TrafficPPS)
+	}
+
+	d.srv = mgmt.NewServer(handler)
+	addr, err := d.srv.Listen(cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("listen: %w", err)
+	}
+	d.addr = addr
+
+	if cfg.MetricsAddr != "" {
+		if d.reg == nil {
+			d.srv.Close()
+			return nil, fmt.Errorf("metrics endpoint requires telemetry")
+		}
+		if err := d.serveMetrics(cfg.MetricsAddr); err != nil {
+			d.srv.Close()
+			return nil, err
+		}
+		logf("metrics on http://%s/metrics", d.MetricsAddr())
+	}
+	logf("management listening on %s", addr)
+	return d, nil
+}
+
+// Addr is the management listener's resolved address.
+func (d *Daemon) Addr() string { return d.addr }
+
+// MetricsAddr is the HTTP metrics listener's resolved address, or "" when
+// the endpoint is disabled.
+func (d *Daemon) MetricsAddr() string {
+	if d.httpLn == nil {
+		return ""
+	}
+	return d.httpLn.Addr().String()
+}
+
+// Registry exposes the telemetry registry (nil when telemetry is off).
+// Callers must not mutate module state through it; reads are safe.
+func (d *Daemon) Registry() *telemetry.Registry { return d.reg }
+
+// Close stops both listeners.
+func (d *Daemon) Close() error {
+	if d.httpSrv != nil {
+		d.httpSrv.Close()
+	}
+	return d.srv.Close()
+}
+
+func (d *Daemon) serveMetrics(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("metrics listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		// GaugeFuncs read live module state, so snapshot under the same
+		// lock that serializes simulator access.
+		d.mu.Lock()
+		snap := d.reg.Snapshot()
+		d.mu.Unlock()
+		b, err := snap.MarshalJSONIndent()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		var evs []telemetry.TraceEvent
+		if tr := d.reg.Tracer(); tr != nil {
+			evs = tr.Events()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(evs)
+	})
+	d.httpLn = ln
+	d.httpSrv = &http.Server{Handler: mux}
+	go d.httpSrv.Serve(ln)
+	return nil
+}
+
+// ParseShell maps the CLI shell name to its hls constant.
+func ParseShell(s string) (hls.Shell, error) {
+	switch s {
+	case "one-way-filter":
+		return hls.OneWayFilter, nil
+	case "two-way-core":
+		return hls.TwoWayCore, nil
+	case "active-core":
+		return hls.ActiveCore, nil
+	default:
+		return 0, fmt.Errorf("unknown shell %q", s)
+	}
+}

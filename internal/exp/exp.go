@@ -49,6 +49,11 @@ type RunContext struct {
 	// experiments that build modules (0 keeps the baseline).
 	ClockHz      int64
 	DatapathBits int
+	// Telemetry opts the run into in-cable instrumentation: experiments
+	// that support it attach a metric registry to their modules and fold
+	// headline counters into the result envelope. Off by default so
+	// canonical envelopes stay byte-identical.
+	Telemetry bool
 	// Progress, when non-nil, receives coarse progress messages. It may
 	// be called from the goroutine running the experiment.
 	Progress func(msg string)
@@ -86,6 +91,7 @@ func (c RunContext) Params() Params {
 		FaultRate:    c.FaultRate,
 		ClockHz:      c.ClockHz,
 		DatapathBits: c.DatapathBits,
+		Telemetry:    c.Telemetry,
 	}
 }
 
@@ -97,6 +103,7 @@ type Params struct {
 	FaultRate    float64 `json:"fault_rate,omitempty"`
 	ClockHz      int64   `json:"clock_hz,omitempty"`
 	DatapathBits int     `json:"datapath_bits,omitempty"`
+	Telemetry    bool    `json:"telemetry,omitempty"`
 }
 
 // Result is what an experiment returns: the paper-style text rendering

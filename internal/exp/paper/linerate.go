@@ -10,6 +10,7 @@ import (
 	"flexsfp/internal/hls"
 	"flexsfp/internal/netsim"
 	"flexsfp/internal/runner"
+	"flexsfp/internal/telemetry"
 	"flexsfp/internal/trafficgen"
 )
 
@@ -25,6 +26,21 @@ type LineRatePoint struct {
 	GoodputGbps  float64
 	Drops        uint64
 	LineRate     bool // delivered ≥ 99.5% of offered
+	// Telemetry carries the headline in-cable counters when the run was
+	// instrumented (RunContext.Telemetry); nil — and omitted from JSON —
+	// otherwise, so canonical envelopes are unchanged by default.
+	Telemetry *CaseTelemetry `json:",omitempty"`
+}
+
+// CaseTelemetry is the headline counter set folded out of an instrumented
+// case's metric registry.
+type CaseTelemetry struct {
+	FramesIn      uint64  `json:"frames_in"`
+	BytesIn       uint64  `json:"bytes_in"`
+	QueueDrops    uint64  `json:"queue_drops"`
+	MeanLatencyNs float64 `json:"mean_latency_ns"`
+	MaxLatencyNs  uint64  `json:"max_latency_ns"`
+	MaxQueueDepth uint64  `json:"max_queue_depth"`
 }
 
 // LineRateResult is the full sweep.
@@ -64,6 +80,15 @@ func runLineRateCase(ctx exp.RunContext, tc lineRateCase) (LineRatePoint, error)
 	if err != nil {
 		return LineRatePoint{}, err
 	}
+	// Instrumentation covers the module/PPE counters only: the per-event
+	// simulator histogram (Simulator.AttachTelemetry) costs ~30ns on every
+	// scheduled event, which is ~8% of this sweep's wall time — too hot
+	// for a performance measurement. It stays a daemon-side facility.
+	var reg *telemetry.Registry
+	if ctx.Telemetry {
+		reg = telemetry.New()
+		mod.AttachTelemetry(reg)
+	}
 	meter := netsim.NewRateMeter(sim)
 	mod.SetTx(1, func(b []byte) {
 		meter.Observe(len(b))
@@ -100,7 +125,7 @@ func runLineRateCase(ctx exp.RunContext, tc lineRateCase) (LineRatePoint, error)
 	sim.RunFor(100 * netsim.Microsecond)
 
 	deliveredPPS := float64(meter.Frames) / netsim.Duration(netsim.Millisecond).Seconds()
-	return LineRatePoint{
+	p := LineRatePoint{
 		Label:        tc.label,
 		FrameSize:    tc.size,
 		OfferedPPS:   float64(gen.Sent) / netsim.Duration(netsim.Millisecond).Seconds(),
@@ -108,7 +133,23 @@ func runLineRateCase(ctx exp.RunContext, tc lineRateCase) (LineRatePoint, error)
 		GoodputGbps:  float64(meter.Bytes) * 8 / netsim.Duration(netsim.Millisecond).Seconds() / 1e9,
 		Drops:        mod.Engine().Stats().QueueDrop,
 		LineRate:     mod.Engine().Stats().QueueDrop == 0,
-	}, nil
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		ct := &CaseTelemetry{}
+		ct.FramesIn, _ = snap.Counter("ppe.frames_in")
+		ct.BytesIn, _ = snap.Counter("ppe.bytes_in")
+		ct.QueueDrops, _ = snap.Counter("ppe.queue_drops")
+		if lat, ok := snap.Histogram("ppe.latency_ns"); ok && lat.Count > 0 {
+			ct.MeanLatencyNs = float64(lat.Sum) / float64(lat.Count)
+			ct.MaxLatencyNs = lat.Max
+		}
+		if qd, ok := snap.Histogram("ppe.queue_depth"); ok {
+			ct.MaxQueueDepth = qd.Max
+		}
+		p.Telemetry = ct
+	}
+	return p, nil
 }
 
 // LineRateExperiment drives the NAT module at 10G line rate across frame
@@ -177,6 +218,7 @@ func lineRateTrials(ctx exp.RunContext) (LineRateTrialsResult, error) {
 	tr, err := exp.RunTrials(ctx, func(_ int, seed int64) (LineRateResult, error) {
 		return lineRateSingle(exp.RunContext{
 			Seed: seed, ClockHz: ctx.ClockHz, DatapathBits: ctx.DatapathBits,
+			Telemetry: ctx.Telemetry,
 		})
 	})
 	if err != nil {
@@ -251,6 +293,27 @@ func runLineRate(ctx exp.RunContext) (exp.Result, error) {
 		exp.Scalar("points", "", float64(len(r.Points))),
 		exp.Scalar("line_rate_all", "bool", lineRateAll),
 		exp.Scalar("queue_drops", "", drops),
+	}
+	if ctx.Telemetry {
+		// Fold the headline in-cable counters across the sweep into the
+		// envelope: total frames and a frame-weighted mean latency.
+		var frames, bytes uint64
+		var latSum float64
+		for _, p := range r.Points {
+			if p.Telemetry == nil {
+				continue
+			}
+			frames += p.Telemetry.FramesIn
+			bytes += p.Telemetry.BytesIn
+			latSum += p.Telemetry.MeanLatencyNs * float64(p.Telemetry.FramesIn)
+		}
+		env.Metrics = append(env.Metrics,
+			exp.Scalar("telemetry_frames_in", "", float64(frames)),
+			exp.Scalar("telemetry_bytes_in", "", float64(bytes)))
+		if frames > 0 {
+			env.Metrics = append(env.Metrics,
+				exp.Scalar("telemetry_mean_latency", "ns", latSum/float64(frames)))
+		}
 	}
 	return exp.NewResult(env, r.Render), nil
 }

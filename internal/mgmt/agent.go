@@ -6,6 +6,7 @@ import (
 
 	"flexsfp/internal/core"
 	"flexsfp/internal/ppe"
+	"flexsfp/internal/telemetry"
 )
 
 // Agent is the management core's message processor, bound to one module.
@@ -16,6 +17,10 @@ import (
 // the daemon does with its run lock.
 type Agent struct {
 	mod *core.Module
+
+	// tel, when set (SetTelemetry), serves the read-side observability
+	// ops: metric snapshots and packet-trace dumps.
+	tel *telemetry.Registry
 
 	mu   sync.Mutex
 	xfer *transfer
@@ -94,6 +99,10 @@ func (a *Agent) dispatch(msg Message) Message {
 		return a.reboot(msg.Body)
 	case MsgEEPROM:
 		return ok(a.mod.EEPROM())
+	case MsgTelemetry:
+		return a.telemetrySnap()
+	case MsgTraceDump:
+		return a.traceDump(msg.Body)
 	default:
 		return errMsg(CodeUnknownType, fmt.Sprintf("type %d", msg.Type))
 	}

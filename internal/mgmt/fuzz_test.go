@@ -1,0 +1,125 @@
+package mgmt
+
+// Native fuzz harnesses for the protocol surface: the frame decoder must
+// never panic on hostile bytes and must round-trip what it accepts, and
+// the agent must answer any byte string with a well-formed response.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"flexsfp/internal/core"
+	"flexsfp/internal/hls"
+	"flexsfp/internal/netsim"
+	"flexsfp/internal/telemetry"
+)
+
+// newFuzzAgentModule mirrors newAgentModule without *testing.T: fuzz
+// setup runs outside any test context, so errors panic instead.
+func newFuzzAgentModule() (*core.Module, *Agent, *netsim.Simulator) {
+	sim := netsim.New(1)
+	reg := core.NewRegistry()
+	reg.Register("stateful", newStatefulApp)
+	m := core.NewModule(core.Config{
+		Sim: sim, Name: "fuzz-7", DeviceID: 7,
+		Shell: hls.TwoWayCore, Registry: reg, AuthKey: fleetKey,
+	})
+	app := newStatefulApp()
+	d, err := hls.Compile(app.Program(), hls.Options{ClockHz: 156_250_000, DatapathBits: 64})
+	if err != nil {
+		panic(err)
+	}
+	enc, _ := d.Bitstream.Encode()
+	if _, err := m.Install(1, enc); err != nil {
+		panic(err)
+	}
+	if err := m.BootSync(1); err != nil {
+		panic(err)
+	}
+	return m, NewAgent(m), sim
+}
+
+// seedMessages covers every request shape the client can emit, so the
+// corpus starts on the interesting paths instead of random headers.
+func seedMessages() [][]byte {
+	var tableBody bodyWriter
+	tableBody.str("nat")
+	tableBody.bytes([]byte{10, 0, 0, 1})
+	tableBody.bytes([]byte{192, 0, 2, 1})
+	var traceBody bodyWriter
+	traceBody.u32(16)
+	seeds := [][]byte{
+		Message{Type: MsgPing, ReqID: 1}.Encode(),
+		Message{Type: MsgStats, ReqID: 2}.Encode(),
+		Message{Type: MsgTableAdd, ReqID: 3, Body: tableBody.b}.Encode(),
+		Message{Type: MsgTelemetry, ReqID: 4}.Encode(),
+		Message{Type: MsgTraceDump, ReqID: 5, Body: traceBody.b}.Encode(),
+		Message{Type: MsgError, ReqID: 6, Body: errorBody(CodeBadBody, "x")}.Encode(),
+		Message{Type: MsgEEPROM, ReqID: 7}.Encode(),
+	}
+	// A few corrupted variants: truncated, bad magic, huge length.
+	seeds = append(seeds, seeds[0][:5])
+	bad := append([]byte(nil), seeds[1]...)
+	bad[0] = 'X'
+	seeds = append(seeds, bad)
+	huge := append([]byte(nil), seeds[0]...)
+	huge[8], huge[9], huge[10], huge[11] = 0xff, 0xff, 0xff, 0xff
+	seeds = append(seeds, huge)
+	return seeds
+}
+
+func FuzzDecodeMessage(f *testing.F) {
+	for _, s := range seedMessages() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		// Anything the decoder accepts must survive an encode/decode
+		// round trip unchanged.
+		re, err := DecodeMessage(msg.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if re.Type != msg.Type || re.ReqID != msg.ReqID || !bytes.Equal(re.Body, msg.Body) {
+			t.Fatalf("round trip changed message: %+v -> %+v", msg, re)
+		}
+	})
+}
+
+// fuzzAgent builds one shared module+agent for the whole fuzz process;
+// per-exec module construction would dominate the run.
+var fuzzAgent = sync.OnceValue(func() *Agent {
+	_, a, _ := newFuzzAgentModule()
+	reg := telemetry.New()
+	reg.SetTracer(telemetry.NewTracer(1, 64))
+	a.SetTelemetry(reg)
+	return a
+})
+
+func FuzzAgentHandle(f *testing.F) {
+	for _, s := range seedMessages() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := fuzzAgent()
+		resp := a.Handle(data)
+		// Whatever comes in, the response must be a decodable protocol
+		// message of type OK or Error.
+		msg, err := DecodeMessage(resp)
+		if err != nil {
+			t.Fatalf("agent produced undecodable response: %v", err)
+		}
+		if msg.Type != MsgOK && msg.Type != MsgError {
+			t.Fatalf("agent response type = %d", msg.Type)
+		}
+		if msg.Type == MsgError {
+			if _, _, err := ParseError(msg.Body); err != nil {
+				t.Fatalf("agent produced malformed error body: %v", err)
+			}
+		}
+	})
+}

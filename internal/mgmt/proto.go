@@ -53,6 +53,14 @@ const (
 	MsgReboot
 	MsgEEPROM
 	MsgXferStatus
+	// MsgTelemetry requests the module's metric snapshot (response body is
+	// the JSON-encoded telemetry.Snapshot). New types append here so wire
+	// values stay stable across protocol revisions.
+	MsgTelemetry
+	// MsgTraceDump requests buffered packet-trace events (request body:
+	// optional u32 cap on the number of most-recent events; response body:
+	// JSON-encoded []telemetry.TraceEvent).
+	MsgTraceDump
 )
 
 // Error codes carried in MsgError.

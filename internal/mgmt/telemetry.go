@@ -1,0 +1,82 @@
+package mgmt
+
+// Read-side observability over the management protocol: MsgTelemetry
+// returns the module's metric snapshot, MsgTraceDump the buffered packet
+// traces. Both carry JSON bodies — these are management-plane reads of
+// slow-path snapshots, so the compact TLV encoding buys nothing and the
+// self-describing form feeds flexsfp-ctl output and the daemon's HTTP
+// endpoint directly.
+
+import (
+	"encoding/json"
+
+	"flexsfp/internal/telemetry"
+)
+
+// SetTelemetry attaches the registry the agent serves snapshots from.
+// Wiring-time only; a nil registry (the default) makes the telemetry ops
+// return CodeBadState.
+func (a *Agent) SetTelemetry(reg *telemetry.Registry) { a.tel = reg }
+
+func (a *Agent) telemetrySnap() Message {
+	if a.tel == nil {
+		return errMsg(CodeBadState, "telemetry not enabled")
+	}
+	b, err := json.Marshal(a.tel.Snapshot())
+	if err != nil {
+		return errMsg(CodeOpFailed, err.Error())
+	}
+	return ok(b)
+}
+
+func (a *Agent) traceDump(body []byte) Message {
+	if a.tel == nil || a.tel.Tracer() == nil {
+		return errMsg(CodeBadState, "tracing not enabled")
+	}
+	max := 0
+	if len(body) > 0 {
+		r := bodyReader{b: body}
+		max = int(r.u32())
+		if r.err != nil {
+			return errMsg(CodeBadBody, "trace-dump")
+		}
+	}
+	evs := a.tel.Tracer().Events()
+	if max > 0 && len(evs) > max {
+		evs = evs[len(evs)-max:] // keep the most recent
+	}
+	b, err := json.Marshal(evs)
+	if err != nil {
+		return errMsg(CodeOpFailed, err.Error())
+	}
+	return ok(b)
+}
+
+// Telemetry fetches the module's metric snapshot.
+func (c *Client) Telemetry() (telemetry.Snapshot, error) {
+	body, err := c.do(MsgTelemetry, nil)
+	if err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	var s telemetry.Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	return s, nil
+}
+
+// Traces fetches up to max buffered packet-trace events (0 = all),
+// oldest first.
+func (c *Client) Traces(max int) ([]telemetry.TraceEvent, error) {
+	var w bodyWriter
+	w.u32(uint32(max))
+	body, err := c.do(MsgTraceDump, w.b)
+	if err != nil {
+		return nil, err
+	}
+	var evs []telemetry.TraceEvent
+	if err := json.Unmarshal(body, &evs); err != nil {
+		return nil, err
+	}
+	return evs, nil
+}

@@ -1,0 +1,65 @@
+package mgmt
+
+import (
+	"strings"
+	"testing"
+
+	"flexsfp/internal/telemetry"
+)
+
+func TestTelemetryRoundTrip(t *testing.T) {
+	_, a, _ := newAgentModule(t)
+	c := newDirectClient(a)
+
+	// Without a registry attached, both ops are a clean protocol error.
+	if _, err := c.Telemetry(); err == nil || !strings.Contains(err.Error(), "telemetry not enabled") {
+		t.Fatalf("telemetry without registry: %v", err)
+	}
+	if _, err := c.Traces(0); err == nil || !strings.Contains(err.Error(), "tracing not enabled") {
+		t.Fatalf("traces without registry: %v", err)
+	}
+
+	reg := telemetry.New()
+	tr := telemetry.NewTracer(1, 64)
+	reg.SetTracer(tr)
+	reg.Counter("x.frames").Add(42)
+	reg.Histogram("x.lat", telemetry.ExpBuckets(1, 2, 8)).Observe(5)
+	for i := 1; i <= 10; i++ {
+		id, _ := tr.Sample()
+		tr.Hop(id, telemetry.StageSubmit, uint64(i*100), 64, 0)
+	}
+	a.SetTelemetry(reg)
+
+	snap, err := c.Telemetry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap.Counter("x.frames"); !ok || v != 42 {
+		t.Fatalf("x.frames = %d (ok=%v)", v, ok)
+	}
+	if h, ok := snap.Histogram("x.lat"); !ok || h.Count != 1 {
+		t.Fatalf("x.lat = %+v (ok=%v)", h, ok)
+	}
+	if snap.TraceSampled != 10 {
+		t.Fatalf("TraceSampled = %d", snap.TraceSampled)
+	}
+
+	all, err := c.Traces(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 10 {
+		t.Fatalf("got %d events, want 10", len(all))
+	}
+	capped, err := c.Traces(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 3 {
+		t.Fatalf("capped dump returned %d events", len(capped))
+	}
+	// The cap keeps the most recent events, oldest first.
+	if capped[0].TimeNs != 800 || capped[2].TimeNs != 1000 {
+		t.Fatalf("capped events = %+v", capped)
+	}
+}

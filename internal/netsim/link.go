@@ -1,5 +1,7 @@
 package netsim
 
+import "flexsfp/internal/telemetry"
+
 // Link models a unidirectional serial channel: frames are serialized one at
 // a time at the link's bit rate, then delivered after the propagation delay.
 // It captures the two quantities that matter for line-rate reasoning:
@@ -41,6 +43,12 @@ type Link struct {
 	// single-threaded inside its simulator, so an intrusive list suffices.
 	free *linkFrame
 
+	// tracer and depthHist are optional instruments (SetTelemetry): sampled
+	// packet-trace hops at tx-done/delivery, and the transmit-queue depth
+	// seen by each accepted frame. Both record zero-alloc and lock-free.
+	tracer    *telemetry.Tracer
+	depthHist *telemetry.Histogram
+
 	stats LinkStats
 }
 
@@ -51,10 +59,11 @@ type Link struct {
 // is scheduled first and always fires first (earlier-or-equal time,
 // earlier sequence number), which the stage flag relies on.
 type linkFrame struct {
-	l     *Link
-	data  []byte
-	txeod bool // tx-done already fired; next Complete is the delivery
-	next  *linkFrame
+	l       *Link
+	data    []byte
+	traceID uint64 // packet-trace identity captured at Send (0 = untraced)
+	txeod   bool   // tx-done already fired; next Complete is the delivery
+	next    *linkFrame
 }
 
 // Complete implements netsim.Completer for both of the frame's events.
@@ -65,18 +74,34 @@ func (f *linkFrame) Complete() {
 		f.txeod = true
 		l.stats.TxFrames++
 		l.stats.TxBytes += uint64(len(f.data))
+		if l.tracer != nil {
+			l.tracer.Hop(f.traceID, telemetry.StageLinkTx, uint64(l.sim.Now()), len(f.data), 0)
+		}
 		return
 	}
 	if l.queued > 0 {
 		l.queued--
 	}
 	data := f.data
+	id := f.traceID
 	f.data = nil
+	f.traceID = 0
 	f.next = l.free
 	l.free = f
-	if l.deliver != nil {
-		l.deliver(data)
+	if l.deliver == nil {
+		return
 	}
+	if l.tracer != nil {
+		// Delivery is the synchronous head of the downstream chain (module
+		// rx → PPE submit), so the ambient register carries the trace ID
+		// across it.
+		l.tracer.Hop(id, telemetry.StageLinkRx, uint64(l.sim.Now()), len(data), 0)
+		l.tracer.SetCurrent(id)
+		l.deliver(data)
+		l.tracer.SetCurrent(0)
+		return
+	}
+	l.deliver(data)
 }
 
 // LinkStats counts traffic carried and dropped by a Link.
@@ -106,6 +131,14 @@ func NewLink(sim *Simulator, bitsPerSec int64, prop Duration, deliver func(data 
 // SetDeliver replaces the delivery callback (used when wiring topologies
 // after link construction).
 func (l *Link) SetDeliver(deliver func(data []byte)) { l.deliver = deliver }
+
+// SetTelemetry attaches the link's optional instruments: trace hops for
+// sampled frames and a histogram of transmit-queue depth. Either may be
+// nil. Wiring-time only.
+func (l *Link) SetTelemetry(tracer *telemetry.Tracer, depth *telemetry.Histogram) {
+	l.tracer = tracer
+	l.depthHist = depth
+}
 
 // Stats returns a snapshot of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
@@ -175,6 +208,12 @@ func (l *Link) Send(data []byte) bool {
 		f = &linkFrame{l: l}
 	}
 	f.data = data
+	if l.tracer != nil {
+		f.traceID = l.tracer.Current()
+	}
+	if l.depthHist != nil {
+		l.depthHist.Observe(uint64(l.queued))
+	}
 	l.sim.ScheduleCompletionAt(txDone, f)
 	l.sim.ScheduleCompletionAt(txDone.Add(l.Prop), f)
 	return true

@@ -13,6 +13,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+
+	"flexsfp/internal/telemetry"
 )
 
 // Time is a point in simulated time, in nanoseconds since simulation start.
@@ -132,6 +134,11 @@ type Simulator struct {
 	// single-threaded, so a plain slice beats sync.Pool (no per-P
 	// shards, no GC clearing).
 	free []*Event
+
+	// gapHist, when attached (AttachTelemetry), observes the simulated-time
+	// advance between consecutive fired events.
+	gapHist  *telemetry.Histogram
+	lastFire Time
 }
 
 // New returns a simulator whose clock starts at zero and whose random
@@ -229,6 +236,10 @@ func (s *Simulator) Step() bool {
 		e := heap.Pop(&s.events).(*Event)
 		if e.canceled {
 			continue
+		}
+		if s.gapHist != nil {
+			s.gapHist.Observe(uint64(e.at - s.lastFire))
+			s.lastFire = e.at
 		}
 		s.now = e.at
 		s.fired++

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flexsfp/internal/netsim"
+	"flexsfp/internal/telemetry"
 )
 
 // Engine executes a compiled Program with cycle accounting: a streaming
@@ -38,6 +39,10 @@ type Engine struct {
 	// thread, so no locking.
 	freeComp *completion
 
+	// tel, when non-nil, receives zero-alloc hot-path records (counters,
+	// latency/queue histograms, trace hops). See SetTelemetry.
+	tel *Telemetry
+
 	stats EngineStats
 }
 
@@ -68,6 +73,16 @@ func (c *completion) Complete() {
 		e.stats.Redirect++
 	case VerdictToCPU:
 		e.stats.ToCPU++
+	}
+	if t := e.tel; t != nil {
+		now := uint64(e.sim.Now())
+		if v >= 0 && int(v) < len(t.Verdicts) {
+			t.Verdicts[v].Inc()
+		}
+		t.LatencyNs.Observe(now - c.ctx.TimestampNs)
+		if t.Tracer != nil {
+			t.Tracer.Hop(c.ctx.TraceID, telemetry.StageVerdict, now, len(c.ctx.Data), uint8(v))
+		}
 	}
 	if e.out != nil {
 		e.out(v, &c.ctx)
@@ -224,6 +239,9 @@ func (e *Engine) submitAt(now netsim.Time, nowPs int64, data []byte, dir Directi
 	}
 	if e.QueueLimit > 0 && startPs > nowPs && e.queued >= e.QueueLimit {
 		e.stats.QueueDrop++
+		if e.tel != nil {
+			e.tel.QueueDrops.Inc()
+		}
 		return false
 	}
 	servicePs := e.ServiceCycles(len(data)) * e.period
@@ -248,6 +266,16 @@ func (e *Engine) submitAt(now netsim.Time, nowPs int64, data []byte, dir Directi
 		c = &completion{e: e}
 	}
 	c.ctx = Ctx{Data: data, Dir: dir, TimestampNs: uint64(now)}
+	if t := e.tel; t != nil {
+		t.FramesIn.Inc()
+		t.BytesIn.Add(uint64(len(data)))
+		t.QueueDepth.Observe(uint64(e.queued))
+		if t.Tracer != nil {
+			id := t.Tracer.Current()
+			c.ctx.TraceID = id
+			t.Tracer.Hop(id, telemetry.StageSubmit, uint64(now), len(data), uint8(dir))
+		}
+	}
 	donePs := e.busyUntilPs + int64(e.depth)*e.period
 	e.sim.ScheduleCompletionAt(netsim.Time((donePs+999)/1000), c)
 	return true

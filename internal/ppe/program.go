@@ -86,6 +86,10 @@ type Ctx struct {
 	// RedirectPort selects the egress interface for VerdictRedirect:
 	// 0 = edge, 1 = optical, 2 = control-plane port (ActiveCore only).
 	RedirectPort int
+	// TraceID carries the frame's packet-trace identity through the
+	// pipeline (0 = frame not sampled / tracing disabled). Set by the
+	// engine at submission from the ambient tracer register.
+	TraceID uint64
 }
 
 // Handler is the behavioral model of a compiled packet function.

@@ -7,49 +7,91 @@ import (
 )
 
 // CounterBank is a bank of 64-bit packet+byte counters, indexed densely.
+//
+// Each counter's (packets, bytes) pair is updated and read as a unit via a
+// per-counter seqlock, so a management-plane Read racing a datapath Inc
+// can never observe a torn pair (packets bumped, bytes not — the classic
+// two-word counter bug). The writer section is two atomic adds between a
+// CAS-claimed odd sequence and its even release; readers retry until they
+// bracket a stable even sequence. Inc stays allocation-free and, in the
+// single-writer case of one sim thread, the CAS never contends.
 type CounterBank struct {
-	name    string
-	packets []atomic.Uint64
-	bytes   []atomic.Uint64
+	name string
+	ctrs []bankCounter
+}
+
+type bankCounter struct {
+	seq     atomic.Uint64 // even = stable, odd = write in progress
+	packets atomic.Uint64
+	bytes   atomic.Uint64
 }
 
 // NewCounterBank allocates n counters.
 func NewCounterBank(name string, n int) *CounterBank {
-	return &CounterBank{
-		name:    name,
-		packets: make([]atomic.Uint64, n),
-		bytes:   make([]atomic.Uint64, n),
-	}
+	return &CounterBank{name: name, ctrs: make([]bankCounter, n)}
 }
 
 // Len returns the number of counters.
-func (c *CounterBank) Len() int { return len(c.packets) }
+func (c *CounterBank) Len() int { return len(c.ctrs) }
 
-// Inc adds one packet of n bytes to counter i. Out-of-range indexes are
-// ignored (hardware counters saturate silently).
-func (c *CounterBank) Inc(i int, n int) {
-	if i < 0 || i >= len(c.packets) {
-		return
+// lock claims the counter's write section (seq becomes odd). The CAS
+// arbitrates between the datapath and management-plane writers (Reset);
+// with a single writer it succeeds on the first try.
+func (ctr *bankCounter) lock() {
+	for {
+		s := ctr.seq.Load()
+		if s&1 == 0 && ctr.seq.CompareAndSwap(s, s+1) {
+			return
+		}
 	}
-	c.packets[i].Add(1)
-	c.bytes[i].Add(uint64(n))
 }
 
-// Read returns (packets, bytes) of counter i.
+// unlock releases the write section (seq returns to even).
+func (ctr *bankCounter) unlock() { ctr.seq.Add(1) }
+
+// Inc adds one packet of n bytes to counter i. Out-of-range indexes are
+// ignored (hardware counters saturate silently). Zero allocations.
+func (c *CounterBank) Inc(i int, n int) {
+	if i < 0 || i >= len(c.ctrs) {
+		return
+	}
+	ctr := &c.ctrs[i]
+	ctr.lock()
+	ctr.packets.Add(1)
+	ctr.bytes.Add(uint64(n))
+	ctr.unlock()
+}
+
+// Read returns (packets, bytes) of counter i as a consistent pair: the
+// bytes always correspond to exactly the packets.
 func (c *CounterBank) Read(i int) (uint64, uint64) {
-	if i < 0 || i >= len(c.packets) {
+	if i < 0 || i >= len(c.ctrs) {
 		return 0, 0
 	}
-	return c.packets[i].Load(), c.bytes[i].Load()
+	ctr := &c.ctrs[i]
+	for {
+		s1 := ctr.seq.Load()
+		if s1&1 != 0 {
+			continue // write in progress
+		}
+		p := ctr.packets.Load()
+		b := ctr.bytes.Load()
+		if ctr.seq.Load() == s1 {
+			return p, b
+		}
+	}
 }
 
 // Reset zeroes counter i.
 func (c *CounterBank) Reset(i int) {
-	if i < 0 || i >= len(c.packets) {
+	if i < 0 || i >= len(c.ctrs) {
 		return
 	}
-	c.packets[i].Store(0)
-	c.bytes[i].Store(0)
+	ctr := &c.ctrs[i]
+	ctr.lock()
+	ctr.packets.Store(0)
+	ctr.bytes.Store(0)
+	ctr.unlock()
 }
 
 // Register is a single stateful scratch register.

@@ -1,0 +1,99 @@
+package ppe
+
+import (
+	"testing"
+
+	"flexsfp/internal/netsim"
+	"flexsfp/internal/telemetry"
+)
+
+func instrumentedEngine(t *testing.T, sampleEvery int) (*netsim.Simulator, *Engine, *telemetry.Registry) {
+	t.Helper()
+	sim := netsim.New(1)
+	reg := telemetry.New()
+	reg.SetTracer(telemetry.NewTracer(sampleEvery, 256))
+	e := NewEngine(sim, clock156, 64, nil)
+	if err := e.SetProgram(passProgram()); err != nil {
+		t.Fatal(err)
+	}
+	e.SetTelemetry(NewTelemetry(reg))
+	return sim, e, reg
+}
+
+func TestEngineTelemetryCounters(t *testing.T) {
+	sim, e, reg := instrumentedEngine(t, 1)
+	frame := make([]byte, 64)
+	tr := reg.Tracer()
+	for i := 0; i < 10; i++ {
+		id, _ := tr.Sample()
+		tr.SetCurrent(id)
+		e.Submit(frame, DirEdgeToOptical)
+		tr.SetCurrent(0)
+		sim.Run()
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap.Counter("ppe.frames_in"); v != 10 {
+		t.Fatalf("frames_in = %d", v)
+	}
+	if v, _ := snap.Counter("ppe.bytes_in"); v != 640 {
+		t.Fatalf("bytes_in = %d", v)
+	}
+	if v, _ := snap.Counter("ppe.verdict.pass"); v != 10 {
+		t.Fatalf("verdict.pass = %d", v)
+	}
+	lat, ok := snap.Histogram("ppe.latency_ns")
+	if !ok || lat.Count != 10 || lat.Min == 0 {
+		t.Fatalf("latency histogram = %+v (ok=%v)", lat, ok)
+	}
+	// Every frame was sampled: each contributes a Submit and a Verdict hop.
+	evs := tr.Events()
+	if len(evs) != 20 {
+		t.Fatalf("got %d trace events, want 20", len(evs))
+	}
+	if evs[0].Stage != telemetry.StageSubmit || evs[1].Stage != telemetry.StageVerdict {
+		t.Fatalf("hop order = %v, %v", evs[0].Stage, evs[1].Stage)
+	}
+	if evs[1].Aux != uint8(VerdictPass) {
+		t.Fatalf("verdict hop aux = %d", evs[1].Aux)
+	}
+	if evs[0].ID == 0 || evs[0].ID != evs[1].ID {
+		t.Fatalf("hops not correlated: %d vs %d", evs[0].ID, evs[1].ID)
+	}
+}
+
+func TestEngineTelemetryQueueDrop(t *testing.T) {
+	_, e, reg := instrumentedEngine(t, 1)
+	e.QueueLimit = 1
+	frame := make([]byte, 1518)
+	for i := 0; i < 10; i++ {
+		e.Submit(frame, DirEdgeToOptical) // no sim.Run: pile onto the queue
+	}
+	if v, _ := reg.Snapshot().Counter("ppe.queue_drops"); v == 0 {
+		t.Fatal("queue drops not counted")
+	}
+}
+
+// TestEngineSubmitTelemetryZeroAlloc pins the fully instrumented per-frame
+// path — counters, two histograms, sampling, two trace hops — at zero
+// allocations, the tentpole contract for wiring telemetry into the hot
+// path at all.
+func TestEngineSubmitTelemetryZeroAlloc(t *testing.T) {
+	sim, e, reg := instrumentedEngine(t, 1)
+	tr := reg.Tracer()
+	frame := make([]byte, 64)
+	for i := 0; i < 8; i++ {
+		e.Submit(frame, DirEdgeToOptical)
+		sim.Run()
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		id, _ := tr.Sample()
+		tr.SetCurrent(id)
+		if !e.Submit(frame, DirEdgeToOptical) {
+			t.Fatal("submit refused")
+		}
+		tr.SetCurrent(0)
+		sim.Run()
+	}); n != 0 {
+		t.Fatalf("instrumented Engine.Submit allocates %v per run, want 0", n)
+	}
+}

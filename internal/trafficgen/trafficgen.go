@@ -12,6 +12,7 @@ import (
 
 	"flexsfp/internal/netsim"
 	"flexsfp/internal/packet"
+	"flexsfp/internal/telemetry"
 )
 
 // maxPooledFrame is the buffer size the frame pool hands out: large
@@ -92,6 +93,13 @@ type Generator struct {
 
 	Sent    uint64
 	Refused uint64 // sink returned false (downstream drop)
+
+	// tracer, when set, samples emitted frames into the packet-trace ring
+	// and threads the trace ID through the synchronous sink call. Only the
+	// per-frame Run path traces; RunBurst hands whole batches to the sink,
+	// where a single ambient ID cannot identify one frame (RunBurst is the
+	// throughput path, Run the latency/trace-accurate reference).
+	tracer *telemetry.Tracer
 
 	stopped bool
 }
@@ -204,11 +212,23 @@ func (g *Generator) Run(count uint64) {
 		// with PutBuffer when done.
 		buf := GetBuffer(len(frame))
 		copy(buf, frame)
+		if tr := g.tracer; tr != nil {
+			id, _ := tr.Sample()
+			if id != 0 {
+				tr.Hop(id, telemetry.StageGen, uint64(g.sim.Now()), len(buf), 0)
+			}
+			// Install the ambient ID (0 for unsampled frames) for the
+			// synchronous sink chain: link Send, or module rx → PPE submit.
+			tr.SetCurrent(id)
+		}
 		if g.sink(buf) {
 			g.Sent++
 		} else {
 			g.Sent++
 			g.Refused++
+		}
+		if g.tracer != nil {
+			g.tracer.SetCurrent(0)
 		}
 		g.sim.ScheduleDetached(g.gap(), emit)
 	}
@@ -253,6 +273,10 @@ func (g *Generator) RunBurst(count uint64, burst int, sink func([][]byte) int) {
 	}
 	g.sim.ScheduleDetached(g.gap(), emit)
 }
+
+// SetTracer attaches (or detaches, with nil) the packet-trace sampler.
+// Wiring-time only.
+func (g *Generator) SetTracer(tr *telemetry.Tracer) { g.tracer = tr }
 
 // Stop halts emission after the current event.
 func (g *Generator) Stop() { g.stopped = true }
