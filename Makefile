@@ -5,22 +5,23 @@ GO ?= go
 # transports, the lock-free datapath tables, the telemetry record paths):
 # the race pass focuses here so `make check` stays fast; `make race-all`
 # still sweeps everything.
-RACE_PKGS = ./internal/mgmt ./internal/netsim ./internal/runner ./internal/exp/... ./internal/faults ./internal/ppe ./internal/telemetry
+RACE_PKGS = ./internal/mgmt ./internal/netsim ./internal/runner ./internal/exp/... ./internal/faults ./internal/ppe ./internal/reliability ./internal/telemetry
 
 # Packages holding the per-frame hot paths; bench-json and the smoke run
 # cover exactly these plus the root end-to-end suites.
 HOT_PKGS = ./internal/ppe ./internal/netsim ./internal/trafficgen .
 
-.PHONY: all build test race race-all bench bench-json bench-list smoke fuzz-smoke telemetry-smoke vet fmt check examples reports clean
+.PHONY: all build test race race-all bench bench-json bench-list smoke shard-smoke fuzz-smoke telemetry-smoke vet fmt check examples reports clean
 
 all: build test
 
 # Everything CI cares about: compile, unit tests, race detector, vet,
 # the experiment-registry smoke check, the hot-path smoke run
 # (alloc-regression tests and a -benchtime=1x pass over every benchmark),
-# a short pass over every native fuzz target, and a race-mode run of the
-# default experiment suite with telemetry attached.
-check: build test race vet bench-list smoke fuzz-smoke telemetry-smoke
+# the shard-determinism smoke, a short pass over every native fuzz
+# target, and a race-mode run of the default experiment suite with
+# telemetry attached.
+check: build test race vet bench-list smoke shard-smoke fuzz-smoke telemetry-smoke
 
 build:
 	$(GO) build ./...
@@ -49,6 +50,16 @@ bench-json:
 smoke:
 	$(GO) test -run 'ZeroAlloc' ./internal/ppe ./internal/netsim ./internal/telemetry
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem $(HOT_PKGS) > /dev/null
+
+# Shard-determinism gate: the netsim experiments must emit byte-identical
+# JSON whether they run on one event heap or four (the Shards knob is
+# execution placement, not a model parameter). Only wall-clock lines may
+# differ.
+shard-smoke:
+	@$(GO) run ./cmd/flexsfp-bench -run linerate,reliability -json -shards 1 | grep -v '"wall_ms"' > /tmp/flexsfp-shards1.json; \
+	$(GO) run ./cmd/flexsfp-bench -run linerate,reliability -json -shards 4 | grep -v '"wall_ms"' > /tmp/flexsfp-shards4.json; \
+	diff /tmp/flexsfp-shards1.json /tmp/flexsfp-shards4.json > /dev/null || { echo "shard-smoke: -shards 1 and -shards 4 JSON differ" >&2; exit 1; }; \
+	echo "shard-smoke: -shards 1 == -shards 4"
 
 # Short mutation pass over every native fuzz target (go fuzz accepts one
 # target per invocation). Longer runs: go test -fuzz=<target> <pkg>.

@@ -20,11 +20,19 @@
 //	flexsfp-bench -faults -fault-rate 0.4
 //	flexsfp-bench -clock 312500000 -width 128  # operating-point override
 //	flexsfp-bench -telemetry -run linerate     # instrumented run
+//	flexsfp-bench -shards 4 -run linerate      # parallel simulation core
 //
 // -telemetry opts experiments into in-cable instrumentation: modules run
 // with the metric registry attached and headline counters (frames, mean
 // PPE latency) are folded into the result envelopes. Off by default so
 // canonical outputs stay byte-identical.
+//
+// -shards runs supporting experiments (linerate, reliability) on the
+// conservatively-synchronized parallel simulation core: the topology is
+// partitioned over N event heaps advanced together under lookahead
+// synchronization. It is an execution-placement knob — results are
+// byte-identical at any shard count, and it is deliberately absent from
+// the JSON params echo.
 //
 // The "faults" chaos experiment is registered opt-in: it only joins
 // wildcard selections ("all", globs) when -faults is given (it can also
@@ -84,6 +92,7 @@ func main() {
 	clockHz := flag.Int64("clock", 0, "PPE clock override in Hz (0 = §5.1 baseline 156.25 MHz)")
 	width := flag.Int("width", 0, "PPE datapath width override in bits (0 = §5.1 baseline 64)")
 	withTelemetry := flag.Bool("telemetry", false, "instrument experiment modules and fold headline counters into results")
+	shards := flag.Int("shards", 0, "partition supporting experiments over N parallel simulation shards (0 = single-heap)")
 	verbose := flag.Bool("v", false, "print experiment progress to stderr")
 	flag.Parse()
 
@@ -110,6 +119,7 @@ func main() {
 		ClockHz:      *clockHz,
 		DatapathBits: *width,
 		Telemetry:    *withTelemetry,
+		Shards:       *shards,
 	}
 	if *verbose {
 		var mu sync.Mutex

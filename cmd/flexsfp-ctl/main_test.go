@@ -153,3 +153,33 @@ func TestRunUnknownSubcommand(t *testing.T) {
 		t.Fatal("expected error for unknown subcommand")
 	}
 }
+
+// TestEndToEndSharded boots the daemon on the parallel simulation core:
+// the module on shard 0, the traffic source on shard 1 behind a
+// cross-shard 10G wire. The same management surface must work and the
+// pre-run traffic must reach the PPE through the portal.
+func TestEndToEndSharded(t *testing.T) {
+	d := startDaemon(t, daemon.Config{
+		DeviceID: 9, Telemetry: true, TraceEvery: 1,
+		TrafficPPS: 1000, SimShards: 2,
+	})
+	addr := d.Addr()
+
+	out := ctl(t, addr, "ping")
+	if !strings.Contains(out, `module "e2e-0" device=9`) {
+		t.Fatalf("ping output: %q", out)
+	}
+	out = ctl(t, addr, "stats")
+	if !strings.Contains(out, "app=nat") || !strings.Contains(out, "running=true") {
+		t.Fatalf("stats output: %q", out)
+	}
+	out = ctl(t, addr, "metrics")
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(out), &snap); err != nil {
+		t.Fatalf("metrics output not JSON: %v\n%s", err, out)
+	}
+	framesIn, ok := snap.Counter("ppe.frames_in")
+	if !ok || framesIn == 0 {
+		t.Fatalf("sharded daemon: ppe.frames_in = %d (ok=%v); traffic did not cross the portal", framesIn, ok)
+	}
+}

@@ -42,6 +42,7 @@ func main() {
 		tel         = flag.Bool("telemetry", true, "enable metric registry and packet tracing")
 		traceEvery  = flag.Int("trace-every", 64, "sample 1-in-N frames for tracing")
 		metricsAddr = flag.String("metrics-addr", "", "HTTP address for the JSON metrics endpoint (empty = off)")
+		simShards   = flag.Int("sim-shards", 0, "run the world on N parallel simulation shards (module + traffic source; 0/1 = single heap)")
 	)
 	flag.Parse()
 
@@ -50,7 +51,8 @@ func main() {
 		App: *appName, Shell: *shellName, ConfigJSON: *configJSON,
 		AuthKey: []byte(*authKey), TrafficPPS: *trafficPPS, Seed: *seed,
 		Telemetry: *tel, TraceEvery: *traceEvery, MetricsAddr: *metricsAddr,
-		Logf: func(format string, args ...any) { log.Printf("flexsfpd: "+format, args...) },
+		SimShards: *simShards,
+		Logf:      func(format string, args ...any) { log.Printf("flexsfpd: "+format, args...) },
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -54,6 +54,14 @@ type RunContext struct {
 	// headline counters into the result envelope. Off by default so
 	// canonical envelopes stay byte-identical.
 	Telemetry bool
+	// Shards selects the parallel simulation core (netsim.Sharded) for
+	// experiments that support it: the topology is partitioned over this
+	// many event heaps advanced under conservative lookahead
+	// synchronization. 0 or 1 keeps the single-heap path. Shards is an
+	// execution-placement knob, not a model parameter — results are
+	// byte-identical at any shard count, which is why it is deliberately
+	// NOT echoed in Params.
+	Shards int
 	// Progress, when non-nil, receives coarse progress messages. It may
 	// be called from the goroutine running the experiment.
 	Progress func(msg string)

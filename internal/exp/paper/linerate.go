@@ -6,6 +6,7 @@ import (
 
 	"flexsfp/internal/apps"
 	"flexsfp/internal/build"
+	"flexsfp/internal/core"
 	"flexsfp/internal/exp"
 	"flexsfp/internal/hls"
 	"flexsfp/internal/netsim"
@@ -162,6 +163,9 @@ func LineRateExperiment(seed int64) (LineRateResult, error) {
 }
 
 func lineRateSingle(ctx exp.RunContext) (LineRateResult, error) {
+	if ctx.Shards > 0 {
+		return lineRateSharded(ctx)
+	}
 	cases := lineRateCases()
 	points, err := runner.Map(len(cases), runner.Options{Seed: ctx.Seed, Parallelism: ctx.Parallelism},
 		func(i int, _ *rand.Rand) (LineRatePoint, error) {
@@ -171,6 +175,128 @@ func lineRateSingle(ctx exp.RunContext) (LineRateResult, error) {
 		return LineRateResult{}, err
 	}
 	return LineRateResult{Points: points}, nil
+}
+
+// lineRateSharded runs the sweep on the parallel simulation core: the
+// cases are logical partitions placed round-robin over ctx.Shards event
+// heaps and advanced together. The cases never interact, so one
+// conservative window covers the whole run and the shards execute wall-
+// clock-parallel with no barrier traffic.
+//
+// Determinism follows the Sharded placement-invariance rules: each case's
+// generator draws from its partition stream (never the shard's ambient
+// RNG), and every absolute timestamp in a case's world is the common
+// post-boot epoch plus a shift-invariant offset — link and engine
+// picosecond arithmetic is linear in whole-nanosecond shifts — so the
+// sweep's JSON is byte-identical at any shard count. (It intentionally
+// does not match the legacy Shards=0 path, which seeds each case's
+// private simulator differently; the goldens pin the legacy path.)
+func lineRateSharded(ctx exp.RunContext) (LineRateResult, error) {
+	cases := lineRateCases()
+	sh := netsim.NewSharded(ctx.Seed, ctx.Shards)
+
+	type caseWorld struct {
+		sim   *netsim.Simulator
+		mod   *core.Module
+		meter *netsim.RateMeter
+		gen   *trafficgen.Generator
+		reg   *telemetry.Registry
+	}
+	worlds := make([]caseWorld, len(cases))
+
+	// Wiring pass: build every case's module on its home shard. Boots
+	// advance shard clocks unevenly (co-located cases boot back to back),
+	// so the measurement epoch is aligned afterwards.
+	for i, tc := range cases {
+		sim := sh.Shard(sh.ShardFor(i))
+		mod, _, err := build.Module(sim, build.ModuleSpec{
+			Name: "lr-dut-" + tc.label, DeviceID: uint32(i + 1),
+			Shell: hls.TwoWayCore, App: "nat",
+			ClockHz: ctx.ClockHz, DatapathBits: ctx.DatapathBits,
+			Config: apps.NATConfig{Mappings: []apps.NATMapping{
+				{Internal: "10.1.0.1", External: "203.0.113.1"},
+			}},
+		})
+		if err != nil {
+			return LineRateResult{}, err
+		}
+		w := &worlds[i]
+		w.sim, w.mod = sim, mod
+		if ctx.Telemetry {
+			w.reg = telemetry.New()
+			mod.AttachTelemetry(w.reg)
+		}
+		w.meter = netsim.NewRateMeter(sim)
+		meter := w.meter
+		mod.SetTx(1, func(b []byte) {
+			meter.Observe(len(b))
+			trafficgen.PutBuffer(b)
+		})
+		mod.SetTx(0, trafficgen.PutBuffer)
+	}
+	epoch := sh.AlignClocks()
+
+	// Measurement pass: identical shape and arithmetic to runLineRateCase,
+	// with all cases sharing the 1 ms window that starts at the epoch.
+	for i, tc := range cases {
+		mean := 64.0
+		if tc.size > 0 {
+			mean = float64(tc.size)
+		} else {
+			total, weight := 0, 0
+			for _, e := range tc.sizes {
+				total += e.Size * e.Weight
+				weight += e.Weight
+			}
+			mean = float64(total) / float64(weight)
+		}
+		pps := 10e9 / ((mean + 20) * 8)
+		w := &worlds[i]
+		wire := netsim.NewLink(w.sim, 10_000_000_000, 0, w.mod.RxEdge)
+		w.gen = trafficgen.New(w.sim, trafficgen.Config{
+			PPS: pps, Sizes: tc.sizes, Flows: 32,
+			Rand: sh.Stream(i),
+		}, func(b []byte) bool {
+			return wire.Send(b)
+		})
+		w.gen.Run(0)
+	}
+	sh.RunUntil(epoch.Add(netsim.Millisecond))
+	for i := range worlds {
+		worlds[i].gen.Stop()
+	}
+	sh.RunUntil(epoch.Add(netsim.Millisecond + 100*netsim.Microsecond))
+
+	res := LineRateResult{Points: make([]LineRatePoint, len(cases))}
+	for i, tc := range cases {
+		w := &worlds[i]
+		p := LineRatePoint{
+			Label:        tc.label,
+			FrameSize:    tc.size,
+			OfferedPPS:   float64(w.gen.Sent) / netsim.Duration(netsim.Millisecond).Seconds(),
+			DeliveredPPS: float64(w.meter.Frames) / netsim.Duration(netsim.Millisecond).Seconds(),
+			GoodputGbps:  float64(w.meter.Bytes) * 8 / netsim.Duration(netsim.Millisecond).Seconds() / 1e9,
+			Drops:        w.mod.Engine().Stats().QueueDrop,
+			LineRate:     w.mod.Engine().Stats().QueueDrop == 0,
+		}
+		if w.reg != nil {
+			snap := w.reg.Snapshot()
+			ct := &CaseTelemetry{}
+			ct.FramesIn, _ = snap.Counter("ppe.frames_in")
+			ct.BytesIn, _ = snap.Counter("ppe.bytes_in")
+			ct.QueueDrops, _ = snap.Counter("ppe.queue_drops")
+			if lat, ok := snap.Histogram("ppe.latency_ns"); ok && lat.Count > 0 {
+				ct.MeanLatencyNs = float64(lat.Sum) / float64(lat.Count)
+				ct.MaxLatencyNs = lat.Max
+			}
+			if qd, ok := snap.Histogram("ppe.queue_depth"); ok {
+				ct.MaxQueueDepth = qd.Max
+			}
+			p.Telemetry = ct
+		}
+		res.Points[i] = p
+	}
+	return res, nil
 }
 
 // Render formats the sweep.
@@ -218,7 +344,7 @@ func lineRateTrials(ctx exp.RunContext) (LineRateTrialsResult, error) {
 	tr, err := exp.RunTrials(ctx, func(_ int, seed int64) (LineRateResult, error) {
 		return lineRateSingle(exp.RunContext{
 			Seed: seed, ClockHz: ctx.ClockHz, DatapathBits: ctx.DatapathBits,
-			Telemetry: ctx.Telemetry,
+			Telemetry: ctx.Telemetry, Shards: ctx.Shards,
 		})
 	})
 	if err != nil {

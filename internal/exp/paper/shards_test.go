@@ -1,0 +1,100 @@
+package paper
+
+// Golden-trace determinism for the parallel simulation core: the Shards
+// knob is execution placement only, so for every experiment that supports
+// it the full JSON envelope — params echo, metrics, detail — must be
+// byte-identical across shard counts at a fixed seed.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"flexsfp/internal/exp"
+)
+
+// envelopeJSON runs a registered experiment and marshals its envelope.
+func envelopeJSON(t *testing.T, name string, ctx exp.RunContext) []byte {
+	t.Helper()
+	e, ok := exp.Default.Lookup(name)
+	if !ok {
+		t.Fatalf("experiment %q not registered", name)
+	}
+	res, err := e.Run(ctx)
+	if err != nil {
+		t.Fatalf("run %s: %v", name, err)
+	}
+	raw, err := json.Marshal(res.Envelope())
+	if err != nil {
+		t.Fatalf("marshal %s envelope: %v", name, err)
+	}
+	return raw
+}
+
+// TestShardsByteIdenticalJSON is the acceptance pin: for every sharded
+// netsim experiment, shards ∈ {1, 2, 4, 8} produce byte-identical JSON.
+func TestShardsByteIdenticalJSON(t *testing.T) {
+	for _, name := range []string{"linerate", "reliability"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ref := envelopeJSON(t, name, exp.RunContext{Seed: 42, Shards: 1})
+			for _, shards := range []int{2, 4, 8} {
+				got := envelopeJSON(t, name, exp.RunContext{Seed: 42, Shards: shards})
+				if string(got) != string(ref) {
+					t.Fatalf("%s: shards=%d JSON differs from shards=1\nshards=1: %s\nshards=%d: %s",
+						name, shards, ref, shards, got)
+				}
+			}
+			// A different seed must change the output (the pin is not
+			// comparing constants).
+			other := envelopeJSON(t, name, exp.RunContext{Seed: 43, Shards: 4})
+			if string(other) == string(ref) {
+				t.Fatalf("%s: different seeds produced identical JSON", name)
+			}
+		})
+	}
+}
+
+// TestShardsNotEchoedInParams guards the invariant that makes the
+// byte-identity pin possible at all: Shards must never appear in the
+// params echo (it is placement, not a model knob).
+func TestShardsNotEchoedInParams(t *testing.T) {
+	p, err := json.Marshal(exp.RunContext{Seed: 1, Shards: 8}.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(p, &m); err != nil {
+		t.Fatal(err)
+	}
+	for k := range m {
+		if k == "shards" {
+			t.Fatal("Shards leaked into the params echo; sharded and unsharded envelopes can no longer be identical")
+		}
+	}
+}
+
+// TestReliabilityShardedMatchesDefault pins the stronger property the
+// fleet experiment offers: its sharded execution reproduces the default
+// (unsharded) envelope exactly, because the partition seeding is shared.
+func TestReliabilityShardedMatchesDefault(t *testing.T) {
+	def := envelopeJSON(t, "reliability", exp.RunContext{Seed: 42})
+	sh := envelopeJSON(t, "reliability", exp.RunContext{Seed: 42, Shards: 8})
+	if string(def) != string(sh) {
+		t.Fatalf("sharded fleet envelope differs from default path\ndefault: %s\nsharded: %s", def, sh)
+	}
+}
+
+// TestLineRateShardedTrials covers the multi-trial path with the knob
+// threaded through: trials fan out across workers, each trial's sweep
+// runs sharded, and the reduction stays shard-count-invariant.
+func TestLineRateShardedTrials(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trial sharded sweep is slow")
+	}
+	a := envelopeJSON(t, "linerate", exp.RunContext{Seed: 7, Trials: 2, Shards: 1})
+	b := envelopeJSON(t, "linerate", exp.RunContext{Seed: 7, Trials: 2, Shards: 4})
+	if string(a) != string(b) {
+		t.Fatalf("multi-trial sharded sweep not shard-count-invariant\nshards=1: %s\nshards=4: %s", a, b)
+	}
+}

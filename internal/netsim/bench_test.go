@@ -1,6 +1,9 @@
 package netsim
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // BenchmarkScheduleFire measures the steady-state event loop: one event in
 // flight at a time, each firing schedules the next (the pattern of the
@@ -45,5 +48,74 @@ func BenchmarkScheduleHandle(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sim.Schedule(1, fn)
 		sim.Run()
+	}
+}
+
+// BenchmarkSchedule isolates the 4-ary heap push: b.N events scheduled
+// at pseudo-random offsets into an ever-deepening heap, drained outside
+// the timed region. Sift-up cost dominates.
+func BenchmarkSchedule(b *testing.B) {
+	sim := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.ScheduleDetached(Duration(i*2654435761%4096), fn)
+	}
+	b.StopTimer()
+	sim.Run()
+}
+
+// BenchmarkStep isolates the 4-ary heap pop: a 4096-event heap stepped
+// one event at a time (Step pays sift-down over four-way children; the
+// shallow tree is the point of the arity bump).
+func BenchmarkStep(b *testing.B) {
+	sim := New(1)
+	fn := func() {}
+	fill := func() {
+		for j := 0; j < 4096; j++ {
+			sim.ScheduleDetached(Duration(j*2654435761%4096), fn)
+		}
+	}
+	fill()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sim.Step() {
+			b.StopTimer()
+			fill()
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	sim.Run()
+}
+
+// BenchmarkShardedRing measures the parallel core end to end: a 4-shard
+// token ring where every hop crosses a portal (worst case for the
+// window synchronizer — lookahead bounds every window and all frames
+// are cross-shard).
+func BenchmarkShardedRing(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sh := NewSharded(1, shards)
+			const nodes = 4
+			ports := make([]*Portal, nodes)
+			var hops int
+			for i := 0; i < nodes; i++ {
+				i := i
+				next := (i + 1) % nodes
+				ports[i] = sh.Connect(sh.ShardFor(i), sh.ShardFor(next), 100, func(data []byte) {
+					hops++
+					if hops < b.N {
+						ports[next].Send(data)
+					}
+				})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			ports[0].Send([]byte{1})
+			sh.Run()
+		})
 	}
 }

@@ -1,0 +1,77 @@
+package netsim
+
+// eventHeap is an inlined 4-ary index-min heap ordered by (at, seq).
+//
+// It replaces the earlier container/heap implementation on the scheduler
+// hot path: container/heap moves elements through `any`, which boxes the
+// *Event on every Push/Pop and dispatches Less/Swap through an interface
+// table. The inlined heap keeps everything monomorphic — push and pop are
+// straight slice code the compiler can inline into schedule/Step.
+//
+// A 4-ary layout (children of i at 4i+1..4i+4) halves the tree depth of a
+// binary heap: sift-up does half the comparisons, and sift-down's extra
+// per-level comparisons stay inside one cache line of []*Event, which is
+// the right trade for the deep pending queues the traffic sweeps build.
+// Cancellation stays lazy (Event.canceled, skipped at pop), so the heap
+// never needs arbitrary-index removal and events carry no heap index.
+type eventHeap []*Event
+
+// eventLess orders by timestamp, then by schedule sequence so same-time
+// events fire FIFO.
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts e, restoring the heap by sifting up.
+func (h *eventHeap) push(e *Event) {
+	hh := append(*h, e)
+	i := len(hh) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventLess(hh[i], hh[p]) {
+			break
+		}
+		hh[i], hh[p] = hh[p], hh[i]
+		i = p
+	}
+	*h = hh
+}
+
+// pop removes and returns the minimum event. The caller must ensure the
+// heap is non-empty.
+func (h *eventHeap) pop() *Event {
+	hh := *h
+	n := len(hh) - 1
+	min := hh[0]
+	hh[0] = hh[n]
+	hh[n] = nil // release the reference for GC
+	hh = hh[:n]
+	*h = hh
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		// Min of the (up to four) children.
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventLess(hh[j], hh[m]) {
+				m = j
+			}
+		}
+		if !eventLess(hh[m], hh[i]) {
+			break
+		}
+		hh[i], hh[m] = hh[m], hh[i]
+		i = m
+	}
+	return min
+}

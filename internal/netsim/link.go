@@ -49,6 +49,12 @@ type Link struct {
 	tracer    *telemetry.Tracer
 	depthHist *telemetry.Histogram
 
+	// remote, when set (Sharded.ConnectLink), replaces local delivery: the
+	// frame's propagation delay rides the portal to another shard, so only
+	// the tx-done completion is scheduled locally (at txDone, not
+	// txDone+Prop) and the rx side fires on the destination shard.
+	remote *Portal
+
 	stats LinkStats
 }
 
@@ -88,6 +94,14 @@ func (f *linkFrame) Complete() {
 	f.traceID = 0
 	f.next = l.free
 	l.free = f
+	if l.remote != nil {
+		// Cross-shard link: the propagation delay rides the portal (it is
+		// the lookahead), so this second completion fired at tx-done and
+		// the rx side — including any tracer hop — belongs to the
+		// destination shard's deliver callback.
+		l.remote.Send(data)
+		return
+	}
 	if l.deliver == nil {
 		return
 	}
@@ -215,18 +229,32 @@ func (l *Link) Send(data []byte) bool {
 		l.depthHist.Observe(uint64(l.queued))
 	}
 	l.sim.ScheduleCompletionAt(txDone, f)
-	l.sim.ScheduleCompletionAt(txDone.Add(l.Prop), f)
+	if l.remote != nil {
+		// Cross-shard: the second completion hands the frame to the portal
+		// at tx-done; the propagation delay is applied by the portal as it
+		// crosses (Portal latency == Prop).
+		l.sim.ScheduleCompletionAt(txDone, f)
+	} else {
+		l.sim.ScheduleCompletionAt(txDone.Add(l.Prop), f)
+	}
 	return true
 }
 
 // Utilization returns the fraction of the interval [since, now] during
-// which the transmitter was busy, approximated from bytes carried.
-func (l *Link) Utilization(since Time) float64 {
+// which the transmitter was busy, approximated from bytes carried. base
+// must be the Stats() snapshot taken at time since: only the counter
+// deltas since the snapshot count, so a window that starts mid-run is not
+// charged for traffic carried before it. (The previous signature divided
+// cumulative counters by the window length, overstating utilization for
+// any since > 0.)
+func (l *Link) Utilization(since Time, base LinkStats) float64 {
 	elapsed := l.sim.Now().Sub(since)
 	if elapsed <= 0 {
 		return 0
 	}
-	bits := float64(l.stats.TxBytes+uint64(l.stats.TxFrames)*uint64(l.OverheadBytes)) * 8
+	frames := l.stats.TxFrames - base.TxFrames
+	bytes := l.stats.TxBytes - base.TxBytes
+	bits := float64(bytes+frames*uint64(l.OverheadBytes)) * 8
 	return bits / (float64(l.BitsPerSec) * elapsed.Seconds())
 }
 

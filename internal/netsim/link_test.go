@@ -116,12 +116,100 @@ func TestLinkUtilization(t *testing.T) {
 	s := New(1)
 	l := NewLink(s, tenGig, 0, func(data []byte) {})
 	start := s.Now()
+	base := l.Stats()
 	// Send frames covering exactly half the window.
 	l.Send(make([]byte, 1230)) // 1250B incl. overhead = 1 µs on the wire
 	s.RunUntil(Time(2 * Microsecond))
-	u := l.Utilization(start)
+	u := l.Utilization(start, base)
 	if math.Abs(u-0.5) > 0.01 {
 		t.Errorf("utilization = %.3f, want 0.5", u)
+	}
+}
+
+// TestLinkUtilizationWindow is the regression test for the satellite fix:
+// a measurement window opened after traffic has already been carried must
+// only count bytes transmitted inside the window. The old implementation
+// divided cumulative TxBytes by the window length, so a late window
+// reported wildly inflated (even >1) utilization.
+func TestLinkUtilizationWindow(t *testing.T) {
+	s := New(1)
+	l := NewLink(s, tenGig, 0, func(data []byte) {})
+	// Phase 1: 4 µs of solid traffic before the window opens.
+	for i := 0; i < 4; i++ {
+		l.Send(make([]byte, 1230)) // 1 µs each on the wire
+	}
+	s.RunUntil(Time(4 * Microsecond))
+	// Phase 2: open a 2 µs window carrying 1 µs of traffic → 50%.
+	since := s.Now()
+	base := l.Stats()
+	l.Send(make([]byte, 1230))
+	s.RunUntil(Time(6 * Microsecond))
+	u := l.Utilization(since, base)
+	if math.Abs(u-0.5) > 0.01 {
+		t.Errorf("windowed utilization = %.3f, want 0.5", u)
+	}
+	// A zero-value baseline reproduces the old cumulative behavior on a
+	// window from time zero.
+	if full := l.Utilization(0, LinkStats{}); math.Abs(full-5.0/6.0) > 0.01 {
+		t.Errorf("full-run utilization = %.3f, want %.3f", full, 5.0/6.0)
+	}
+}
+
+// TestLinkZeroPropTxBeforeRx pins the ordering contract the parallel
+// scheduler must preserve: Send schedules the same linkFrame twice (tx-done
+// then delivery), and when Prop == 0 both land at the same timestamp, so
+// the delivery order rests entirely on FIFO sequence numbers. Tx-done must
+// fire first — the frame's txeod flag, the stats counters, and any tracer
+// hop all depend on it.
+func TestLinkZeroPropTxBeforeRx(t *testing.T) {
+	s := New(1)
+	var l *Link
+	delivered := 0
+	l = NewLink(s, tenGig, 0, func(data []byte) {
+		delivered++
+		// Tx-done fired in the same instant but strictly before delivery.
+		if got := l.Stats().TxFrames; got != uint64(delivered) {
+			t.Fatalf("delivery %d saw TxFrames=%d; tx-done must precede rx", delivered, got)
+		}
+	})
+	for i := 0; i < 3; i++ {
+		l.Send(make([]byte, 64))
+	}
+	s.Run()
+	if delivered != 3 {
+		t.Fatalf("delivered %d frames, want 3", delivered)
+	}
+}
+
+// TestLinkZeroPropPoolReuse exercises frame-pool recycling at Prop == 0:
+// delivery recycles the linkFrame, and a Send issued from inside the
+// deliver callback must get a cleanly reset record (txeod false, no stale
+// data) even though the recycle happened in the same simulated instant.
+func TestLinkZeroPropPoolReuse(t *testing.T) {
+	s := New(1)
+	var l *Link
+	var got [][]byte
+	l = NewLink(s, tenGig, 0, func(data []byte) {
+		got = append(got, append([]byte(nil), data...))
+		if len(got) < 4 {
+			next := make([]byte, 64)
+			next[0] = byte(len(got))
+			l.Send(next)
+		}
+	})
+	first := make([]byte, 64)
+	l.Send(first)
+	s.Run()
+	if len(got) != 4 {
+		t.Fatalf("delivered %d frames, want 4", len(got))
+	}
+	for i, b := range got {
+		if want := byte(i); b[0] != want || len(b) != 64 {
+			t.Errorf("frame %d: first byte %d len %d, want %d/64", i, b[0], len(b), want)
+		}
+	}
+	if l.Stats().TxFrames != 4 {
+		t.Errorf("TxFrames = %d, want 4", l.Stats().TxFrames)
 	}
 }
 

@@ -3,14 +3,16 @@
 // packet-processing engines, flash timing, traffic generators, and the
 // reliability fleet simulator.
 //
-// The kernel is single-threaded by design. All state mutation happens
+// Each Simulator is single-threaded by design. All state mutation happens
 // inside event callbacks executed by Run/Step, which keeps the simulation
 // reproducible for a given seed and makes component models trivially safe
-// to compose.
+// to compose. Parallelism comes from above: Sharded partitions a topology
+// across many Simulators (one event heap, clock, and RNG stream per
+// shard) and advances them together under conservative lookahead
+// synchronization — see shard.go.
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -78,7 +80,6 @@ type Event struct {
 	comp     Completer // typed fast path; used when fn is nil
 	canceled bool
 	pooled   bool // recycled onto the simulator free-list after firing
-	index    int  // heap index, -1 once popped
 }
 
 // At returns the simulated time at which the event is scheduled to fire.
@@ -90,35 +91,6 @@ func (e *Event) Cancel() { e.canceled = true }
 
 // Canceled reports whether Cancel has been called on the event.
 func (e *Event) Canceled() bool { return e.canceled }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
 
 // Simulator owns the simulated clock and the pending-event queue.
 type Simulator struct {
@@ -225,7 +197,7 @@ func (s *Simulator) schedule(t Time, fn func(), pooled bool) *Event {
 	e.seq = s.seq
 	e.pooled = pooled
 	s.seq++
-	heap.Push(&s.events, e)
+	s.events.push(e)
 	return e
 }
 
@@ -233,7 +205,7 @@ func (s *Simulator) schedule(t Time, fn func(), pooled bool) *Event {
 // timestamp. It returns false when no events remain.
 func (s *Simulator) Step() bool {
 	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(*Event)
+		e := s.events.pop()
 		if e.canceled {
 			continue
 		}
@@ -285,10 +257,35 @@ func (s *Simulator) RunUntil(t Time) {
 // RunFor executes events for a span d of simulated time starting now.
 func (s *Simulator) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
 
+// runBefore executes every event strictly before limit, leaving the clock
+// at the last fired event. It is the conservative-window execution
+// primitive of the sharded simulator: a shard granted the window [now,
+// limit) may fire exactly these events without seeing a cross-shard
+// message, because any such message arrives at or after limit.
+func (s *Simulator) runBefore(limit Time) {
+	for {
+		e := s.peek()
+		if e == nil || e.at >= limit {
+			return
+		}
+		s.Step()
+	}
+}
+
+// nextAt reports the timestamp of the earliest pending event, if any. The
+// sharded coordinator uses it between windows to compute the global
+// lower-bound time.
+func (s *Simulator) nextAt() (Time, bool) {
+	if e := s.peek(); e != nil {
+		return e.at, true
+	}
+	return 0, false
+}
+
 func (s *Simulator) peek() *Event {
 	for len(s.events) > 0 {
 		if s.events[0].canceled {
-			heap.Pop(&s.events)
+			s.events.pop()
 			continue
 		}
 		return s.events[0]
@@ -324,6 +321,11 @@ func (t *Ticker) arm() {
 		}
 		if !t.fn() {
 			t.stopped = true
+			return
+		}
+		if t.stopped {
+			// fn called Stop on its own ticker and still returned true:
+			// honor the Stop instead of re-arming a dead event.
 			return
 		}
 		t.arm()

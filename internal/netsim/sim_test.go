@@ -304,3 +304,83 @@ func TestDetachedDoesNotRecycleHandles(t *testing.T) {
 		t.Fatal("handle lost cancellation")
 	}
 }
+
+// TestCancelPooledDetached exercises Event.Cancel on an event scheduled
+// through the pooled detached path. External callers hold no handle for
+// detached events, but the internal schedule(t, fn, true) entry (used by
+// ScheduleCompletionAt and the link/engine fast paths) does return one,
+// and a cancellation there must neither fire the callback nor corrupt the
+// free list for subsequent pooled scheduling.
+func TestCancelPooledDetached(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.schedule(10, func() { fired = true }, true)
+	e.Cancel()
+	later := false
+	s.ScheduleDetached(20, func() { later = true })
+	s.Run()
+	if fired {
+		t.Fatal("canceled pooled event fired")
+	}
+	if !later {
+		t.Fatal("pooled scheduling after a canceled pooled event did not fire")
+	}
+	if s.Fired() != 1 {
+		t.Errorf("Fired() = %d, want 1 (cancellation must not count)", s.Fired())
+	}
+	// The pool keeps working: recycled events still fire in order.
+	n := 0
+	for i := 0; i < 4; i++ {
+		s.ScheduleDetached(Duration(i+1), func() { n++ })
+	}
+	s.Run()
+	if n != 4 {
+		t.Errorf("post-cancel pooled events fired %d times, want 4", n)
+	}
+}
+
+// TestRunUntilBoundaryDetached pins RunUntil's inclusive boundary for the
+// pooled detached path and for ties exactly at the limit: all events at
+// t == limit fire (in FIFO order), events after it stay pending, and the
+// clock lands exactly on the limit.
+func TestRunUntilBoundaryDetached(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.ScheduleAtDetached(10, func() { order = append(order, 1) })
+	s.ScheduleAtDetached(10, func() { order = append(order, 2) })
+	s.Schedule(10, func() { order = append(order, 3) })
+	s.ScheduleAtDetached(11, func() { order = append(order, 4) })
+	s.RunUntil(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("boundary events fired as %v, want [1 2 3]", order)
+	}
+	if s.Now() != 10 {
+		t.Errorf("Now() = %v, want 10", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1 (event after boundary)", s.Pending())
+	}
+}
+
+// TestTickerStopFromOwnCallback covers a ticker stopped from inside its
+// own callback. Returning true after calling Stop must still honor the
+// Stop — the ticker must not re-arm.
+func TestTickerStopFromOwnCallback(t *testing.T) {
+	s := New(1)
+	count := 0
+	var tk *Ticker
+	tk = s.Every(10, func() bool {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+		return true // deliberately "keep going" after Stop
+	})
+	s.RunUntil(1000)
+	if count != 2 {
+		t.Errorf("ticker fired %d times, want 2 (Stop from own callback)", count)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d, want 0 after self-stop", s.Pending())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"flexsfp/internal/netsim"
 	"flexsfp/internal/runner"
 )
 
@@ -202,6 +203,36 @@ func RunFleetParallel(seed int64, m VCSELModel, cfg FleetConfig, parallelism int
 			return simShard(rng, shardLen(shard, cfg.Modules), m, cfg), nil
 		})
 	return reduceShards(shards, cfg)
+}
+
+// RunFleetSharded runs the fleet on the parallel simulation core: each
+// partition of fleetShardSize modules becomes one detached event on its
+// home shard of a netsim.Sharded world, and the shards execute the
+// partitions wall-clock-parallel under the conservative window loop. The
+// partitions are seeded exactly like RunFleet's workers —
+// runner.TrialRand(seed, partition) — and merged in partition order, so
+// the report is bit-identical to RunFleet and RunFleetSerial at any shard
+// count. shards <= 1 collapses to the serial reference.
+func RunFleetSharded(seed int64, m VCSELModel, cfg FleetConfig, shards int) FleetReport {
+	if !validConfig(m, cfg) {
+		return FleetReport{}
+	}
+	if shards <= 1 {
+		return RunFleetSerial(seed, m, cfg)
+	}
+	sh := netsim.NewSharded(seed, shards)
+	parts := make([]fleetShard, shardCount(cfg.Modules))
+	for p := range parts {
+		p := p
+		// One simulated nanosecond per partition index spaces the events so
+		// the window loop has a defined global order; partitions on the
+		// same shard execute back to back.
+		sh.Shard(sh.ShardFor(p)).ScheduleAtDetached(netsim.Time(p+1), func() {
+			parts[p] = simShard(runner.TrialRand(seed, p), shardLen(p, cfg.Modules), m, cfg)
+		})
+	}
+	sh.Run()
+	return reduceShards(parts, cfg)
 }
 
 // RunFleetSerial is the single-loop reference implementation: same

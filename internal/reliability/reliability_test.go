@@ -252,3 +252,30 @@ func TestRunFleetTrials(t *testing.T) {
 		t.Error("zero trials should yield zero report")
 	}
 }
+
+// TestFleetShardedPDESMatchesSerial pins the netsim.Sharded execution of
+// the fleet: partitions become events on shard heaps, but the partition
+// seeding is RunFleet's, so the report must be bit-identical to the
+// serial reference at every shard count — including fleets that don't
+// divide evenly into partitions or shards.
+func TestFleetShardedPDESMatchesSerial(t *testing.T) {
+	m := DefaultVCSEL()
+	for _, modules := range []int{1, 1023, 1024, 4096, 10000} {
+		cfg := DefaultFleet()
+		cfg.Modules = modules
+		want := RunFleetSerial(11, m, cfg)
+		for _, shards := range []int{0, 1, 2, 3, 4, 8} {
+			got := RunFleetSharded(11, m, cfg, shards)
+			if got != want {
+				t.Fatalf("modules=%d shards=%d: PDES report diverged from serial:\n%+v\nvs\n%+v",
+					modules, shards, got, want)
+			}
+		}
+	}
+	// Invalid config stays a zero-value report on the sharded path too.
+	bad := DefaultFleet()
+	bad.Modules = 0
+	if got := RunFleetSharded(3, m, bad, 4); got != (FleetReport{}) {
+		t.Fatalf("invalid config: got %+v, want zero report", got)
+	}
+}

@@ -78,12 +78,22 @@ type Config struct {
 	SrcIP, DstIP   netip.Addr
 	DstPort        uint16
 	Proto          packet.IPProtocol
+
+	// Rand, when set, replaces the simulator's ambient RNG for all of the
+	// generator's draws (flow pick, size pick, jitter). Sharded
+	// experiments must set it to a partition-keyed stream
+	// (netsim.Sharded.Stream) so a generator's randomness is a function
+	// of its logical partition, not of which shard hosts it — the
+	// placement-invariance rule that keeps results byte-identical at any
+	// shard count.
+	Rand *rand.Rand
 }
 
 // Generator emits frames into a sink on a simulated schedule.
 type Generator struct {
 	sim  *netsim.Simulator
 	cfg  Config
+	rng  *rand.Rand
 	sink func([]byte) bool
 
 	frames    [][]byte // pre-built, one per (flow, size) combination
@@ -128,12 +138,16 @@ func New(sim *netsim.Simulator, cfg Config, sink func([]byte) bool) *Generator {
 		cfg.DstPort = 80
 	}
 	g := &Generator{sim: sim, cfg: cfg, sink: sink}
+	g.rng = cfg.Rand
+	if g.rng == nil {
+		g.rng = sim.Rand()
+	}
 	for _, e := range cfg.Sizes {
 		g.sizeTotal += e.Weight
 		g.sizeEdges = append(g.sizeEdges, g.sizeTotal)
 	}
 	if cfg.ZipfS > 0 && cfg.Flows > 1 {
-		g.zipf = rand.NewZipf(sim.Rand(), cfg.ZipfS+1, 1, uint64(cfg.Flows-1))
+		g.zipf = rand.NewZipf(g.rng, cfg.ZipfS+1, 1, uint64(cfg.Flows-1))
 	}
 	g.prebuild()
 	return g
@@ -170,12 +184,12 @@ func (g *Generator) pickFrame() []byte {
 		if g.zipf != nil {
 			flow = int(g.zipf.Uint64())
 		} else {
-			flow = g.sim.Rand().Intn(g.cfg.Flows)
+			flow = g.rng.Intn(g.cfg.Flows)
 		}
 	}
 	size := 0
 	if len(g.cfg.Sizes) > 1 {
-		w := g.sim.Rand().Intn(g.sizeTotal)
+		w := g.rng.Intn(g.sizeTotal)
 		for i, edge := range g.sizeEdges {
 			if w < edge {
 				size = i
@@ -190,7 +204,7 @@ func (g *Generator) pickFrame() []byte {
 func (g *Generator) gap() netsim.Duration {
 	mean := float64(netsim.Second) / g.cfg.PPS
 	if g.cfg.Jitter > 0 {
-		mean = mean*(1-g.cfg.Jitter) + g.sim.Rand().ExpFloat64()*mean*g.cfg.Jitter
+		mean = mean*(1-g.cfg.Jitter) + g.rng.ExpFloat64()*mean*g.cfg.Jitter
 	}
 	d := netsim.Duration(mean)
 	if d < 1 {
