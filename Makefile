@@ -5,13 +5,13 @@ GO ?= go
 # transports, the lock-free datapath tables, the telemetry record paths):
 # the race pass focuses here so `make check` stays fast; `make race-all`
 # still sweeps everything.
-RACE_PKGS = ./internal/mgmt ./internal/netsim ./internal/runner ./internal/exp/... ./internal/faults ./internal/ppe ./internal/reliability ./internal/telemetry
+RACE_PKGS = ./internal/mgmt ./internal/netsim ./internal/runner ./internal/exp/... ./internal/faults ./internal/ppe ./internal/reliability ./internal/telemetry ./internal/daemon
 
 # Packages holding the per-frame hot paths; bench-json and the smoke run
 # cover exactly these plus the root end-to-end suites.
 HOT_PKGS = ./internal/ppe ./internal/netsim ./internal/trafficgen .
 
-.PHONY: all build test race race-all bench bench-json bench-list smoke shard-smoke fuzz-smoke telemetry-smoke vet fmt check examples reports clean
+.PHONY: all build test race race-all bench bench-json bench-list smoke shard-smoke fuzz-smoke telemetry-smoke fleet-smoke vet fmt check examples reports clean
 
 all: build test
 
@@ -21,7 +21,7 @@ all: build test
 # the shard-determinism smoke, a short pass over every native fuzz
 # target, and a race-mode run of the default experiment suite with
 # telemetry attached.
-check: build test race vet bench-list smoke shard-smoke fuzz-smoke telemetry-smoke
+check: build test race vet bench-list smoke shard-smoke fuzz-smoke telemetry-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -74,6 +74,15 @@ fuzz-smoke:
 # this catches telemetry races the unit tests' synthetic load might miss.
 telemetry-smoke:
 	$(GO) run -race ./cmd/flexsfp-bench -telemetry -run linerate,power -json > /dev/null
+
+# Fleet-controller gate: a small sharded OTA rollout with the full chaos
+# model on must leave zero modules on a tampered/unbootable image or
+# wedged on the target (the bounded-blast-radius invariant, counted from
+# member ground truth in the fleet_ota detail payload).
+fleet-smoke:
+	@out="$$($(GO) run ./cmd/flexsfp-bench -run fleet_ota -json -fleet 2000 -fleet-shards 8)"; \
+	printf '%s\n' "$$out" | grep -q '"modules_bad_end": 0' || { echo "fleet-smoke: modules left on a bad image" >&2; printf '%s\n' "$$out" | grep 'modules_bad_end' >&2; exit 1; }; \
+	echo "fleet-smoke: 2000 modules updated under chaos, 0 left on a bad image"
 
 # Registry smoke check: the bench binary must enumerate a non-empty
 # experiment catalog with unique names (a broken registration init or a

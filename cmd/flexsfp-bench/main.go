@@ -93,6 +93,8 @@ func main() {
 	width := flag.Int("width", 0, "PPE datapath width override in bits (0 = §5.1 baseline 64)")
 	withTelemetry := flag.Bool("telemetry", false, "instrument experiment modules and fold headline counters into results")
 	shards := flag.Int("shards", 0, "partition supporting experiments over N parallel simulation shards (0 = single-heap)")
+	fleetSize := flag.Int("fleet", 0, "simulated module count for the fleet_ota experiment (0 = its default)")
+	fleetShards := flag.Int("fleet-shards", 0, "fleet controller worker shard count for fleet_ota (0 = its default)")
 	verbose := flag.Bool("v", false, "print experiment progress to stderr")
 	flag.Parse()
 
@@ -120,6 +122,8 @@ func main() {
 		DatapathBits: *width,
 		Telemetry:    *withTelemetry,
 		Shards:       *shards,
+		FleetSize:    *fleetSize,
+		FleetShards:  *fleetShards,
 	}
 	if *verbose {
 		var mu sync.Mutex

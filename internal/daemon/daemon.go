@@ -6,11 +6,13 @@
 package daemon
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"sync"
+	"time"
 
 	"flexsfp/internal/build"
 	"flexsfp/internal/core"
@@ -65,8 +67,9 @@ type Daemon struct {
 	srv     *mgmt.Server
 	addr    string
 
-	httpLn  net.Listener
-	httpSrv *http.Server
+	httpLn   net.Listener
+	httpSrv  *http.Server
+	httpDone chan struct{} // closed when the HTTP serve loop exits
 
 	// mu serializes all access to the single-threaded simulator: mgmt
 	// handlers, HTTP snapshot reads, and the traffic pre-run.
@@ -224,13 +227,26 @@ func (d *Daemon) MetricsAddr() string {
 // Callers must not mutate module state through it; reads are safe.
 func (d *Daemon) Registry() *telemetry.Registry { return d.reg }
 
-// Close stops both listeners.
+// Close stops both listeners. The metrics server is shut down
+// gracefully — in-flight snapshot requests get up to closeGrace to
+// finish, then the server is torn down hard — and Close returns only
+// after the HTTP serve goroutine has exited, so tests can assert no
+// goroutine leaks.
 func (d *Daemon) Close() error {
 	if d.httpSrv != nil {
-		d.httpSrv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), closeGrace)
+		if err := d.httpSrv.Shutdown(ctx); err != nil {
+			// Grace expired with requests still in flight: drop them.
+			d.httpSrv.Close()
+		}
+		cancel()
+		<-d.httpDone
 	}
 	return d.srv.Close()
 }
+
+// closeGrace bounds how long Close waits for in-flight metrics requests.
+const closeGrace = 2 * time.Second
 
 func (d *Daemon) serveMetrics(addr string) error {
 	ln, err := net.Listen("tcp", addr)
@@ -264,7 +280,11 @@ func (d *Daemon) serveMetrics(addr string) error {
 	})
 	d.httpLn = ln
 	d.httpSrv = &http.Server{Handler: mux}
-	go d.httpSrv.Serve(ln)
+	d.httpDone = make(chan struct{})
+	go func() {
+		defer close(d.httpDone)
+		d.httpSrv.Serve(ln)
+	}()
 	return nil
 }
 

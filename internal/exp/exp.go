@@ -62,6 +62,15 @@ type RunContext struct {
 	// byte-identical at any shard count, which is why it is deliberately
 	// NOT echoed in Params.
 	Shards int
+	// FleetSize overrides the simulated module count for fleet-scale
+	// experiments (fleet_ota); 0 keeps the experiment's default. Unlike
+	// Shards, this IS a model parameter — it changes what is simulated —
+	// so it is echoed in Params.
+	FleetSize int
+	// FleetShards overrides the fleet controller's worker shard count;
+	// 0 keeps the default. Also a model parameter: shard membership
+	// determines canary sets, gate scopes, and blast radii.
+	FleetShards int
 	// Progress, when non-nil, receives coarse progress messages. It may
 	// be called from the goroutine running the experiment.
 	Progress func(msg string)
@@ -100,6 +109,8 @@ func (c RunContext) Params() Params {
 		ClockHz:      c.ClockHz,
 		DatapathBits: c.DatapathBits,
 		Telemetry:    c.Telemetry,
+		FleetSize:    c.FleetSize,
+		FleetShards:  c.FleetShards,
 	}
 }
 
@@ -112,6 +123,8 @@ type Params struct {
 	ClockHz      int64   `json:"clock_hz,omitempty"`
 	DatapathBits int     `json:"datapath_bits,omitempty"`
 	Telemetry    bool    `json:"telemetry,omitempty"`
+	FleetSize    int     `json:"fleet_size,omitempty"`
+	FleetShards  int     `json:"fleet_shards,omitempty"`
 }
 
 // Result is what an experiment returns: the paper-style text rendering

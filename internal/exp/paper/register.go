@@ -34,5 +34,7 @@ func init() {
 			Doc: "§6 latency overhead: in-cable processing vs a plain transceiver"},
 		exp.Def{ID: "faults", RunFn: runFaults, Hidden: true,
 			Doc: "§4.2 chaos sweep: canary rollout under transport/flash/wedge faults"},
+		exp.Def{ID: "fleet_ota", RunFn: runFleetOTA, Hidden: true,
+			Doc: "sharded fleet controller: 100k-module OTA waves under chaos with bounded blast radius"},
 	)
 }

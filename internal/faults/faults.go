@@ -14,10 +14,12 @@ package faults
 import (
 	"errors"
 	"math/rand"
+	"sync"
 
 	"flexsfp/internal/bitstream"
 	"flexsfp/internal/flash"
 	"flexsfp/internal/netsim"
+	"flexsfp/internal/runner"
 )
 
 // Transport-level fault errors.
@@ -78,11 +80,18 @@ type Injector struct {
 	rng   *rand.Rand
 	rates Rates
 	stats Stats
+
+	// seed is the root the injector was built from (New); seeded marks it
+	// valid. Derive prefers this pure path so lane derivation never
+	// touches the shared rng.
+	seed     int64
+	seeded   bool
+	lazySeed sync.Once
 }
 
 // New builds an injector with its own RNG.
 func New(seed int64, rates Rates) *Injector {
-	return &Injector{rng: rand.New(rand.NewSource(seed)), rates: rates}
+	return &Injector{rng: rand.New(rand.NewSource(seed)), rates: rates, seed: seed, seeded: true}
 }
 
 // NewFrom builds an injector drawing from an existing RNG — typically a
@@ -90,6 +99,28 @@ func New(seed int64, rates Rates) *Injector {
 // run's root seed.
 func NewFrom(rng *rand.Rand, rates Rates) *Injector {
 	return &Injector{rng: rng, rates: rates}
+}
+
+// Derive returns an independent injector for one worker lane, seeded
+// from the parent's root seed and the lane index through the repo-wide
+// SplitMix64 mixer (runner.TrialSeed). This is how concurrent fleet
+// workers get goroutine-safe fault streams: the parent's embedded
+// *rand.Rand is NOT safe for concurrent use, but Derive on a New-built
+// parent is a pure function of (seed, lane) — callable from any number
+// of goroutines at once — and two Derives of the same lane replay the
+// same fault schedule.
+//
+// Parents built with NewFrom have no root seed of their own; the first
+// Derive draws one from the shared RNG (once, so later Derives stay
+// pure). That first call must be serialized with the RNG's other users.
+func (in *Injector) Derive(lane uint64) *Injector {
+	in.lazySeed.Do(func() {
+		if !in.seeded {
+			in.seed = int64(in.rng.Uint64())
+			in.seeded = true
+		}
+	})
+	return New(runner.TrialSeed(in.seed, int(lane)), in.rates)
 }
 
 // Rates returns the configured probabilities.

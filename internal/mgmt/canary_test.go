@@ -2,6 +2,9 @@ package mgmt
 
 import (
 	"errors"
+	"reflect"
+	"sort"
+	"sync"
 	"testing"
 )
 
@@ -112,5 +115,96 @@ func TestCanaryEmptyFleet(t *testing.T) {
 	rep := fleet.PushCanary([]byte{1}, CanaryConfig{TargetSlot: 2})
 	if rep.RolledBack || len(rep.Updated) != 0 || len(rep.Failed) != 0 {
 		t.Errorf("empty fleet report = %+v", rep)
+	}
+}
+
+// TestPushCanarySnapshotsMembership pins the wave accounting to the
+// member set captured at rollout start: a Remove mid-rollout must not
+// drop a member from later waves (or from rollback), and an Add must not
+// enlarge the rollout in flight.
+func TestPushCanarySnapshotsMembership(t *testing.T) {
+	fleet, mods, _, mu := buildFleet(t, 4)
+	signed := signedStatefulImage(t, 9)
+
+	var once sync.Once
+	rep := fleet.PushCanary(signed, CanaryConfig{
+		TargetSlot: 2,
+		Canaries:   1,
+		WaveSize:   1,
+		HealthCheck: func(name string, c *Client) error {
+			once.Do(func() {
+				// While the canary bakes: drop a not-yet-attempted member
+				// and add a brand-new one.
+				fleet.Remove(nameFor(3))
+				fleet.Add("z-late", TransportFunc(func([]byte) ([]byte, error) {
+					t.Error("member added mid-rollout was pushed")
+					return nil, errors.New("z-late is not part of this rollout")
+				}))
+			})
+			s, err := c.ReadStats()
+			if err != nil {
+				return err
+			}
+			if !s.Running || s.ActiveSlot != 2 {
+				return errors.New("unhealthy")
+			}
+			return nil
+		},
+	})
+
+	attempted := append([]string(nil), rep.Updated...)
+	for _, o := range rep.Failed {
+		attempted = append(attempted, o.Name)
+	}
+	sort.Strings(attempted)
+	want := []string{nameFor(0), nameFor(1), nameFor(2), nameFor(3)}
+	if !reflect.DeepEqual(attempted, want) {
+		t.Fatalf("attempted members = %v, want the start-of-rollout set %v", attempted, want)
+	}
+	if rep.RolledBack {
+		t.Fatalf("healthy rollout rolled back: %+v", rep.Failed)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// The removed member was still updated — it was in the snapshot.
+	if mods[3].ActiveSlot() != 2 {
+		t.Errorf("removed member active slot = %d, want 2", mods[3].ActiveSlot())
+	}
+}
+
+// TestPushCanaryRollbackCoversRemovedMember forces a breach after a
+// member was removed from the fleet: the snapshot's client refs must
+// still reach it to restore its previous slot.
+func TestPushCanaryRollbackCoversRemovedMember(t *testing.T) {
+	fleet, mods, _, mu := buildFleet(t, 3)
+	signed := signedStatefulImage(t, 9)
+
+	calls := 0
+	rep := fleet.PushCanary(signed, CanaryConfig{
+		TargetSlot:     2,
+		Canaries:       1,
+		WaveSize:       1,
+		MaxFailureFrac: 0.4,
+		HealthCheck: func(name string, c *Client) error {
+			calls++
+			if calls == 1 {
+				// Canary is healthy, but the operator removes it while the
+				// next wave runs.
+				fleet.Remove(nameFor(0))
+				return nil
+			}
+			return errors.New("wedged") // every later member flunks -> breach
+		},
+	})
+	if !rep.RolledBack {
+		t.Fatalf("expected rollback, got %+v", rep)
+	}
+	if len(rep.RollbackErrs) != 0 {
+		t.Fatalf("rollback errors: %+v", rep.RollbackErrs)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if mods[0].ActiveSlot() != 1 {
+		t.Errorf("removed canary not rolled back: slot = %d, want 1", mods[0].ActiveSlot())
 	}
 }

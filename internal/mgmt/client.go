@@ -74,10 +74,12 @@ type RetryPolicy struct {
 	RequestTimeout time.Duration
 }
 
-// backoff returns the pre-retry delay for the given request and attempt
+// Backoff returns the pre-retry delay for the given request and attempt
 // (0-based). Jitter is derived from (id, attempt) — deterministic for a
-// given request sequence, decorrelated across requests.
-func (p RetryPolicy) backoff(id uint32, attempt int) time.Duration {
+// given request sequence, decorrelated across requests. Exported so the
+// fleet controller's re-push path can schedule retries on the exact
+// same deterministic curve the client uses.
+func (p RetryPolicy) Backoff(id uint32, attempt int) time.Duration {
 	if p.BaseBackoff <= 0 {
 		return 0
 	}
@@ -144,7 +146,7 @@ func (c *Client) do(typ MsgType, body []byte) ([]byte, error) {
 			break
 		}
 		c.retries.Add(1)
-		if d := c.retry.backoff(id, attempt); d > 0 && c.retry.Sleep != nil {
+		if d := c.retry.Backoff(id, attempt); d > 0 && c.retry.Sleep != nil {
 			c.retry.Sleep(d)
 		}
 	}

@@ -72,27 +72,37 @@ type Outcome struct {
 	Err  error
 }
 
-// fanOut runs op against every member concurrently.
-func (f *Fleet) fanOut(op func(name string, c *Client) error) []Outcome {
-	return f.fanOutNames(f.Names(), op)
+// memberRef is a (name, client) pair captured by snapshot.
+type memberRef struct {
+	name string
+	c    *Client
 }
 
-// fanOutNames runs op concurrently against the named members (unknown
-// names are skipped); outcomes come back in the given order.
-func (f *Fleet) fanOutNames(names []string, op func(name string, c *Client) error) []Outcome {
+// snapshot captures the member set once, sorted by name. Multi-wave
+// operations (PushCanary, PushAll) run entirely against one snapshot, so
+// a concurrent Add can't enlarge a rollout mid-flight and a concurrent
+// Remove can't silently drop a member from its outcome accounting — or
+// from the rollback set.
+func (f *Fleet) snapshot() []memberRef {
 	f.mu.Lock()
-	type member struct {
-		name string
-		c    *Client
-	}
-	ms := make([]member, 0, len(names))
-	for _, n := range names {
-		if c, ok := f.members[n]; ok {
-			ms = append(ms, member{n, c})
-		}
+	ms := make([]memberRef, 0, len(f.members))
+	for n, c := range f.members {
+		ms = append(ms, memberRef{n, c})
 	}
 	f.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	return ms
+}
 
+// fanOut snapshots the current members and runs op against each
+// concurrently.
+func (f *Fleet) fanOut(op func(name string, c *Client) error) []Outcome {
+	return fanOutRefs(f.snapshot(), op)
+}
+
+// fanOutRefs runs op concurrently against the captured members; outcomes
+// come back in the given order.
+func fanOutRefs(ms []memberRef, op func(name string, c *Client) error) []Outcome {
 	out := make([]Outcome, len(ms))
 	var wg sync.WaitGroup
 	for i, m := range ms {
@@ -190,17 +200,21 @@ type CanaryReport struct {
 // member back into its previous slot if the cumulative failure fraction
 // breaches the threshold.
 func (f *Fleet) PushCanary(signed []byte, cfg CanaryConfig) CanaryReport {
-	names := f.Names()
+	// One membership snapshot drives the whole rollout: waves, health
+	// checks, and rollback all address these clients, so concurrent
+	// Add/Remove cannot skew which members count toward the failure
+	// fraction or escape the rollback set.
+	ms := f.snapshot()
 	rep := CanaryReport{PrevSlots: make(map[string]int)}
-	if len(names) == 0 {
+	if len(ms) == 0 {
 		return rep
 	}
 	k := cfg.Canaries
 	if k <= 0 {
 		k = 1
 	}
-	if k > len(names) {
-		k = len(names)
+	if k > len(ms) {
+		k = len(ms)
 	}
 	maxFrac := cfg.MaxFailureFrac
 	if maxFrac <= 0 {
@@ -225,14 +239,21 @@ func (f *Fleet) PushCanary(signed []byte, cfg CanaryConfig) CanaryReport {
 	}
 
 	// Pre-flight: remember where everyone is running so we can roll back.
-	stats, _ := f.StatsAll()
-	for n, s := range stats {
-		rep.PrevSlots[n] = s.ActiveSlot
-	}
+	var statsMu sync.Mutex
+	fanOutRefs(ms, func(name string, c *Client) error {
+		s, err := c.ReadStats()
+		if err != nil {
+			return err
+		}
+		statsMu.Lock()
+		rep.PrevSlots[name] = s.ActiveSlot
+		statsMu.Unlock()
+		return nil
+	})
 
 	attempted, failed := 0, 0
-	wave := func(group []string) {
-		out := f.fanOutNames(group, func(name string, c *Client) error {
+	wave := func(group []memberRef) {
+		out := fanOutRefs(group, func(name string, c *Client) error {
 			if err := c.PushBitstream(signed, cfg.TargetSlot, true); err != nil {
 				return err
 			}
@@ -258,21 +279,32 @@ func (f *Fleet) PushCanary(signed []byte, cfg CanaryConfig) CanaryReport {
 	// needs restoring; members that never left their previous slot absorb
 	// a harmless reboot into it.
 	rollbackAll := func() {
-		targets := append([]string(nil), rep.Updated...)
+		attemptedSet := make(map[string]bool, len(rep.Updated)+len(rep.Failed))
+		for _, n := range rep.Updated {
+			attemptedSet[n] = true
+		}
 		for _, o := range rep.Failed {
-			targets = append(targets, o.Name)
+			attemptedSet[o.Name] = true
+		}
+		var targets []memberRef
+		for _, m := range ms {
+			if attemptedSet[m.name] {
+				targets = append(targets, m)
+			}
 		}
 		rep.RolledBack = true
-		rep.RollbackErrs = f.rollback(targets, rep.PrevSlots)
+		rep.RollbackErrs = rollback(targets, rep.PrevSlots)
 	}
 
-	rep.Canaries = names[:k]
-	wave(names[:k])
+	for _, m := range ms[:k] {
+		rep.Canaries = append(rep.Canaries, m.name)
+	}
+	wave(ms[:k])
 	if breached() {
 		rollbackAll()
 		return rep
 	}
-	rest := names[k:]
+	rest := ms[k:]
 	step := cfg.WaveSize
 	if step <= 0 {
 		step = len(rest)
@@ -288,10 +320,12 @@ func (f *Fleet) PushCanary(signed []byte, cfg CanaryConfig) CanaryReport {
 	return rep
 }
 
-// rollback reboots the named members into their pre-rollout slots.
-func (f *Fleet) rollback(updated []string, prevSlots map[string]int) []Outcome {
+// rollback reboots the captured members into their pre-rollout slots
+// (snapshot refs, so a member removed from the fleet mid-rollout is
+// still restored).
+func rollback(targets []memberRef, prevSlots map[string]int) []Outcome {
 	var errs []Outcome
-	out := f.fanOutNames(updated, func(name string, c *Client) error {
+	out := fanOutRefs(targets, func(name string, c *Client) error {
 		prev, ok := prevSlots[name]
 		if !ok {
 			return errors.New("mgmt: previous slot unknown; not rolled back")

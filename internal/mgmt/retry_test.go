@@ -106,18 +106,18 @@ func TestBackoffExponentialWithDeterministicJitter(t *testing.T) {
 		{100 * time.Millisecond, 200 * time.Millisecond},
 		{150 * time.Millisecond, 300 * time.Millisecond}, // capped at MaxBackoff
 	} {
-		d := p.backoff(7, attempt)
+		d := p.Backoff(7, attempt)
 		if d < bounds.lo || d >= bounds.hi {
 			t.Errorf("attempt %d: backoff %v outside [%v, %v)", attempt, d, bounds.lo, bounds.hi)
 		}
-		if d != p.backoff(7, attempt) {
+		if d != p.Backoff(7, attempt) {
 			t.Errorf("attempt %d: jitter not deterministic", attempt)
 		}
 	}
 	// Jitter decorrelates across request IDs.
 	varied := false
 	for id := uint32(1); id < 16; id++ {
-		if p.backoff(id, 0) != p.backoff(id+1, 0) {
+		if p.Backoff(id, 0) != p.Backoff(id+1, 0) {
 			varied = true
 			break
 		}
@@ -125,7 +125,7 @@ func TestBackoffExponentialWithDeterministicJitter(t *testing.T) {
 	if !varied {
 		t.Error("jitter identical across 16 request IDs")
 	}
-	if (RetryPolicy{MaxAttempts: 3}).backoff(1, 0) != 0 {
+	if (RetryPolicy{MaxAttempts: 3}).Backoff(1, 0) != 0 {
 		t.Error("zero BaseBackoff produced a delay")
 	}
 }

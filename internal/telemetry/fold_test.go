@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// memberSnap fabricates the snapshot a lightweight fleet member would
+// report: a couple of counters, a gauge, and one fixed-bucket histogram.
+func memberSnap(i int) Snapshot {
+	return Snapshot{
+		Counters: []CounterSnap{
+			{Name: "fleet.pushes", Value: uint64(i%3 + 1)},
+			{Name: "fleet.retries", Value: uint64(i % 2)},
+		},
+		Gauges: []GaugeSnap{{Name: "fleet.occupancy", Value: float64(i % 5)}},
+		Histograms: []HistogramSnap{{
+			Name: "fleet.push_ns", Count: 2, Sum: uint64(100 + i),
+			Min: uint64(10 + i%7), Max: uint64(90 + i),
+			Buckets: []BucketSnap{
+				{UpperBound: 50, Count: 1},
+				{UpperBound: 500, Count: 1},
+				{Overflow: true, Count: 0},
+			},
+		}},
+		TraceSeen:    uint64(i),
+		TraceSampled: 1,
+	}
+}
+
+func TestFoldMatchesFlatAggregation(t *testing.T) {
+	const members, shards = 1000, 8
+
+	// Flat: every member folded into one fold.
+	flat := NewFold()
+	for i := 0; i < members; i++ {
+		flat.Add(memberSnap(i))
+	}
+
+	// Hierarchical: members pre-folded per shard, global merge over folds.
+	folds := make([]*Fold, shards)
+	for s := range folds {
+		folds[s] = NewFold()
+	}
+	for i := 0; i < members; i++ {
+		folds[i%shards].Add(memberSnap(i))
+	}
+	global := NewFold()
+	for _, f := range folds {
+		global.Merge(f)
+	}
+
+	if got, want := global.Snapshot(), flat.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("hierarchical fold diverged from flat fold:\n got %+v\nwant %+v", got, want)
+	}
+	snaps, merges := global.Folded()
+	if snaps != members {
+		t.Errorf("snaps folded = %d, want %d", snaps, members)
+	}
+	if merges != shards {
+		t.Errorf("global merges = %d, want %d (one per shard fold)", merges, shards)
+	}
+}
+
+func TestFoldSnapshotDeterministicAcrossOrder(t *testing.T) {
+	a, b := NewFold(), NewFold()
+	for i := 0; i < 64; i++ {
+		a.Add(memberSnap(i))
+	}
+	for i := 63; i >= 0; i-- {
+		b.Add(memberSnap(i))
+	}
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("fold snapshot depends on insertion order")
+	}
+}
+
+func TestFoldFromRegistrySnapshots(t *testing.T) {
+	mk := func(n uint64) Snapshot {
+		r := New()
+		c := r.Counter("x.frames")
+		h := r.Histogram("x.lat", []uint64{10, 100})
+		for i := uint64(0); i < n; i++ {
+			c.Inc()
+			h.Observe(i * 7)
+		}
+		return r.Snapshot()
+	}
+	f := NewFold()
+	f.Add(mk(3))
+	f.Add(mk(5))
+	s := f.Snapshot()
+	if v, ok := s.Counter("x.frames"); !ok || v != 8 {
+		t.Fatalf("x.frames = %d, %v; want 8, true", v, ok)
+	}
+	h, ok := s.Histogram("x.lat")
+	if !ok || h.Count != 8 {
+		t.Fatalf("x.lat count = %d, %v; want 8", h.Count, ok)
+	}
+	if h.Min != 0 || h.Max != 28 {
+		t.Errorf("x.lat min/max = %d/%d, want 0/28", h.Min, h.Max)
+	}
+	if len(h.Buckets) != 3 {
+		t.Fatalf("x.lat buckets = %d, want 3", len(h.Buckets))
+	}
+}
+
+func TestFoldMismatchedBoundsDropsBuckets(t *testing.T) {
+	f := NewFold()
+	f.Add(Snapshot{Histograms: []HistogramSnap{{
+		Name: "h", Count: 1, Sum: 5, Min: 5, Max: 5,
+		Buckets: []BucketSnap{{UpperBound: 10, Count: 1}, {Overflow: true}},
+	}}})
+	f.Add(Snapshot{Histograms: []HistogramSnap{{
+		Name: "h", Count: 1, Sum: 50, Min: 50, Max: 50,
+		Buckets: []BucketSnap{{UpperBound: 99, Count: 1}, {Overflow: true}},
+	}}})
+	h, _ := f.Snapshot().Histogram("h")
+	if len(h.Buckets) != 0 {
+		t.Errorf("mismatched bounds should drop buckets, got %v", h.Buckets)
+	}
+	if h.Count != 2 || h.Sum != 55 || h.Min != 5 || h.Max != 50 {
+		t.Errorf("scalar merge wrong: %+v", h)
+	}
+}
+
+func TestFoldEmptyHistogramKeepsZeroMin(t *testing.T) {
+	f := NewFold()
+	f.Add(Snapshot{Histograms: []HistogramSnap{{
+		Name:    "h",
+		Buckets: []BucketSnap{{UpperBound: 10}, {Overflow: true}},
+	}}})
+	f.Add(Snapshot{Histograms: []HistogramSnap{{
+		Name: "h", Count: 1, Sum: 7, Min: 7, Max: 7,
+		Buckets: []BucketSnap{{UpperBound: 10, Count: 1}, {Overflow: true}},
+	}}})
+	h, _ := f.Snapshot().Histogram("h")
+	if h.Min != 7 || h.Max != 7 {
+		t.Errorf("empty histogram skewed min/max: %+v", h)
+	}
+}
+
+// BenchmarkGlobalMerge measures the global layer alone: merging W
+// pre-built shard folds. The per-shard folds stand in for the same
+// 100k-member fleet at every W, so the benchmark demonstrates the
+// hierarchical design's contract — global merge cost scales with shard
+// count, never with module count.
+func BenchmarkGlobalMerge(b *testing.B) {
+	const members = 100_000
+	for _, shards := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			folds := make([]*Fold, shards)
+			per := members / shards
+			for s := range folds {
+				folds[s] = NewFold()
+				for i := 0; i < per; i++ {
+					folds[s].Add(memberSnap(s*per + i))
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := NewFold()
+				for _, f := range folds {
+					g.Merge(f)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardFold is the contrasting shard layer: folding the member
+// snapshots themselves, whose cost does scale with member count.
+func BenchmarkShardFold(b *testing.B) {
+	for _, members := range []int{1_000, 10_000} {
+		b.Run(fmt.Sprintf("members=%d", members), func(b *testing.B) {
+			snaps := make([]Snapshot, members)
+			for i := range snaps {
+				snaps[i] = memberSnap(i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f := NewFold()
+				for _, s := range snaps {
+					f.Add(s)
+				}
+			}
+		})
+	}
+}

@@ -167,14 +167,21 @@ func (r *Registry) Snapshot() Snapshot {
 		hs.Buckets = append(hs.Buckets, BucketSnap{Overflow: true, Count: h.counts[len(h.bounds)].Load()})
 		s.Histograms = append(s.Histograms, hs)
 	}
-	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
-	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
-	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	sortSnapshot(&s)
 	if r.tracer != nil {
 		s.TraceSeen = r.tracer.Seen()
 		s.TraceSampled = r.tracer.Sampled()
 	}
 	return s
+}
+
+// sortSnapshot orders every metric slice by name so two snapshots of the
+// same state serialize identically (shared by Registry.Snapshot and
+// Fold.Snapshot).
+func sortSnapshot(s *Snapshot) {
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 }
 
 // Counter returns the snapshotted value of a named counter (0, false if
