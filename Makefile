@@ -5,13 +5,13 @@ GO ?= go
 # transports, the lock-free datapath tables, the telemetry record paths):
 # the race pass focuses here so `make check` stays fast; `make race-all`
 # still sweeps everything.
-RACE_PKGS = ./internal/mgmt ./internal/netsim ./internal/runner ./internal/exp/... ./internal/faults ./internal/ppe ./internal/reliability ./internal/telemetry ./internal/daemon
+RACE_PKGS = ./internal/mgmt ./internal/netsim ./internal/runner ./internal/exp/... ./internal/faults ./internal/ppe ./internal/reliability ./internal/telemetry ./internal/daemon ./internal/opt/... ./internal/xdp
 
 # Packages holding the per-frame hot paths; bench-json and the smoke run
 # cover exactly these plus the root end-to-end suites.
 HOT_PKGS = ./internal/ppe ./internal/netsim ./internal/trafficgen .
 
-.PHONY: all build test race race-all bench bench-json bench-list smoke shard-smoke fuzz-smoke telemetry-smoke fleet-smoke vet fmt check examples reports clean
+.PHONY: all build test race race-all bench bench-json bench-list smoke shard-smoke fuzz-smoke telemetry-smoke fleet-smoke opt-smoke vet fmt check examples reports clean
 
 all: build test
 
@@ -21,7 +21,7 @@ all: build test
 # the shard-determinism smoke, a short pass over every native fuzz
 # target, and a race-mode run of the default experiment suite with
 # telemetry attached.
-check: build test race vet bench-list smoke shard-smoke fuzz-smoke telemetry-smoke fleet-smoke
+check: build test race vet bench-list smoke shard-smoke fuzz-smoke telemetry-smoke fleet-smoke opt-smoke
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,9 @@ fuzz-smoke:
 	$(GO) test -fuzz 'FuzzAgentHandle' -fuzztime 10s ./internal/mgmt > /dev/null
 	$(GO) test -fuzz 'FuzzPacketDecode' -fuzztime 10s ./internal/packet > /dev/null
 	$(GO) test -fuzz 'FuzzParserDecodeLayers' -fuzztime 10s ./internal/packet > /dev/null
+	$(GO) test -fuzz 'FuzzXDPVerify' -fuzztime 10s ./internal/xdp > /dev/null
+	$(GO) test -fuzz 'FuzzXDPRun' -fuzztime 10s ./internal/xdp > /dev/null
+	$(GO) test -fuzz 'FuzzOptimizeEquivalence' -fuzztime 10s ./internal/opt > /dev/null
 
 # Race-mode run of the default experiment suite with instrumentation
 # attached: the parallel trial runner records into shared registries, so
@@ -83,6 +86,16 @@ fleet-smoke:
 	@out="$$($(GO) run ./cmd/flexsfp-bench -run fleet_ota -json -fleet 2000 -fleet-shards 8)"; \
 	printf '%s\n' "$$out" | grep -q '"modules_bad_end": 0' || { echo "fleet-smoke: modules left on a bad image" >&2; printf '%s\n' "$$out" | grep 'modules_bad_end' >&2; exit 1; }; \
 	echo "fleet-smoke: 2000 modules updated under chaos, 0 left on a bad image"
+
+# Optimizer gate: compile + optimize every catalog app and fail if any
+# depth regresses or any verdict diverges from the unoptimized build
+# (the pipeline_opt experiment measures both on every run).
+opt-smoke:
+	@out="$$($(GO) run ./cmd/flexsfp-bench -run pipeline_opt -json)"; \
+	printf '%s\n' "$$out" | grep -q '"name": "depth_regressions"' || { echo "opt-smoke: depth_regressions metric missing" >&2; exit 1; }; \
+	printf '%s\n' "$$out" | grep -A1 '"name": "depth_regressions"' | grep -q '"mean": 0' || { echo "opt-smoke: optimizer increased a pipeline depth" >&2; exit 1; }; \
+	printf '%s\n' "$$out" | grep -A1 '"name": "verdict_mismatches"' | grep -q '"mean": 0' || { echo "opt-smoke: optimized verdicts diverged" >&2; exit 1; }; \
+	echo "opt-smoke: all apps optimize with no depth regressions and matching verdicts"
 
 # Registry smoke check: the bench binary must enumerate a non-empty
 # experiment catalog with unique names (a broken registration init or a

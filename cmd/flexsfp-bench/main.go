@@ -95,6 +95,7 @@ func main() {
 	shards := flag.Int("shards", 0, "partition supporting experiments over N parallel simulation shards (0 = single-heap)")
 	fleetSize := flag.Int("fleet", 0, "simulated module count for the fleet_ota experiment (0 = its default)")
 	fleetShards := flag.Int("fleet-shards", 0, "fleet controller worker shard count for fleet_ota (0 = its default)")
+	optimize := flag.Bool("opt", false, "run the pipeline optimizer over every program experiments build")
 	verbose := flag.Bool("v", false, "print experiment progress to stderr")
 	flag.Parse()
 
@@ -124,6 +125,7 @@ func main() {
 		Shards:       *shards,
 		FleetSize:    *fleetSize,
 		FleetShards:  *fleetShards,
+		Optimize:     *optimize,
 	}
 	if *verbose {
 		var mu sync.Mutex

@@ -1,0 +1,86 @@
+package apps
+
+import (
+	"fmt"
+	"net/netip"
+
+	"flexsfp/internal/packet"
+	"flexsfp/internal/xdp"
+)
+
+// CanonicalConfig returns a representative configuration for a registry
+// app — the same shapes the robustness suite exercises — so tooling that
+// sweeps every app (the optimizer equivalence tests, the pipeline_opt
+// and dse experiments) has a deterministic, JSON-marshalable config per
+// name without duplicating per-app knowledge.
+func CanonicalConfig(name string) (any, error) {
+	switch name {
+	case "nat":
+		return NATConfig{Mappings: []NATMapping{{Internal: "10.0.0.1", External: "203.0.113.1"}}}, nil
+	case "acl":
+		return ACLConfig{Rules: []ACLRule{{DstPort: 22, Proto: 6, Deny: true, Priority: 1}}}, nil
+	case "vlan":
+		return VLANConfig{VLAN: 100}, nil
+	case "tunnel":
+		return TunnelConfig{
+			Mode:       TunnelGRE,
+			LocalIP:    "10.255.0.1",
+			RemoteIP:   "10.255.0.2",
+			LocalMAC:   "02:aa:aa:aa:aa:01",
+			GatewayMAC: "02:aa:aa:aa:aa:02",
+			VNI:        7777,
+			GREKey:     99,
+		}, nil
+	case "lb":
+		cfg := LBConfig{VIP: "203.0.113.100"}
+		for i := 0; i < 4; i++ {
+			cfg.Backends = append(cfg.Backends, LBBackend{
+				IP:  netip.AddrFrom4([4]byte{10, 0, 1, byte(i + 1)}).String(),
+				MAC: packet.MAC{0x02, 0xbb, 0, 0, 0, byte(i + 1)}.String(),
+			})
+		}
+		return cfg, nil
+	case "telemetry":
+		return TelemetryConfig{Role: TelemetrySource, DeviceID: 1}, nil
+	case "netflow":
+		return NetFlowConfig{}, nil
+	case "ratelimit":
+		return RateLimitConfig{DefaultRateBps: 1e9, DefaultBurstBits: 1e6}, nil
+	case "dohblock":
+		return DoHBlockConfig{BlockedDomains: []string{"x.example"}}, nil
+	case "sanitize":
+		return SanitizeConfig{VerifyChecksums: true}, nil
+	case "monitor":
+		return MonitorConfig{}, nil
+	case "xdp":
+		return XDPConfig{Program: *CanonicalXDPProgram()}, nil
+	}
+	return nil, fmt.Errorf("apps: no canonical config for %q", name)
+}
+
+// CanonicalXDPProgram is the reference XDP codelet: parse Ethernet/IPv4
+// and drop UDP destination port 53 (the examples/xdp-offload program).
+// It is deliberately written the way a naive compiler emits code — with
+// a duplicated ethertype load and a dead scratch move — so the optimizer
+// has realistic redundancy to remove; the fuzz corpus seeds from it.
+func CanonicalXDPProgram() *xdp.Program {
+	return &xdp.Program{Name: "drop-udp-53", Insns: []xdp.Insn{
+		xdp.MovImm(1, 0),
+		xdp.LdH(2, 1, 12),        // ethertype
+		xdp.LdH(6, 1, 12),        // naive reload of the same halfword
+		xdp.MovImm(7, 0),         // dead scratch init
+		xdp.JNeImm(2, 0x0800, 8), // not IPv4 → pass
+		xdp.LdB(3, 1, 23),        // IPv4 protocol
+		xdp.JNeImm(3, 17, 6),     // not UDP → pass
+		xdp.LdB(4, 1, 14),        // version/IHL byte
+		{Op: xdp.OpAnd, Dst: 4, Imm: 0x0F, UseImm: true},
+		{Op: xdp.OpLsh, Dst: 4, Imm: 2, UseImm: true},
+		{Op: xdp.OpAdd, Dst: 4, Imm: 16, UseImm: true}, // eth(14) + dport(2)
+		xdp.LdH(5, 4, 0),     // UDP destination port
+		xdp.JEqImm(5, 53, 2), // port 53 → drop
+		xdp.MovImm(0, xdp.ActPass),
+		xdp.Exit(),
+		xdp.MovImm(0, xdp.ActDrop),
+		xdp.Exit(),
+	}}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"flexsfp/internal/opt"
 	"flexsfp/internal/packet"
 	"flexsfp/internal/ppe"
 	"flexsfp/internal/xdp"
@@ -16,6 +17,12 @@ type XDPConfig struct {
 	Program xdp.Program `json:"program"`
 	// Direction limits execution (default both).
 	Direction string `json:"direction,omitempty"`
+	// Optimize runs the opt pass pipeline over the program at
+	// configuration time: redundancy elimination shrinks the instruction
+	// store, and VLIW packing (opt.ScheduleCycles) replaces the scalar
+	// one-instruction-per-clock service time with the packed schedule
+	// length, raising CapacityPPS for instruction-bound programs.
+	Optimize bool `json:"optimize,omitempty"`
 }
 
 // XDP counter indexes (bank "xdp").
@@ -69,11 +76,26 @@ func (a *xdpApp) Configure(config []byte) error {
 	if err := json.Unmarshal(config, &cfg); err != nil {
 		return fmt.Errorf("xdp: %w", err)
 	}
-	offloaded, err := xdp.Offload(&cfg.Program)
+	vm := &cfg.Program
+	packedCycles := 0
+	if cfg.Optimize {
+		optimized, rep, err := opt.OptimizeXDP(vm, opt.Options{})
+		if err != nil {
+			return err
+		}
+		vm = optimized
+		packedCycles = rep.PackedCycles
+	}
+	offloaded, err := xdp.Offload(vm)
 	if err != nil {
 		return err
 	}
-	a.vm = &cfg.Program
+	if packedCycles > 0 {
+		// The packed VLIW schedule, not the scalar retire rate, sets the
+		// soft core's per-packet occupancy.
+		offloaded.ProgCycles = packedCycles
+	}
+	a.vm = vm
 	a.dir = cfg.Direction
 	// Keep the PPE app name stable ("xdp") so the registry resolves it,
 	// but inherit the offload's structure.

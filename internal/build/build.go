@@ -15,6 +15,7 @@ import (
 	"flexsfp/internal/fpga"
 	"flexsfp/internal/hls"
 	"flexsfp/internal/netsim"
+	"flexsfp/internal/opt"
 )
 
 // Baseline operating point of the prototype (§5.1).
@@ -48,6 +49,11 @@ type ModuleSpec struct {
 	DatapathBits int
 	// Device defaults to the MPF200T prototype part.
 	Device fpga.Device
+	// Optimize runs the opt pass pipeline over the compiled program
+	// (table merging + stage fusion) before HLS, and records the fact in
+	// the manifest so boot re-applies the same passes. Off by default:
+	// the baseline experiments measure the unoptimized flow.
+	Optimize bool
 }
 
 // Module compiles the app, provisions a module with the bitstream in
@@ -89,10 +95,14 @@ func Module(sim *netsim.Simulator, spec ModuleSpec) (*core.Module, *hls.Design, 
 	if err := app.Configure(cfg); err != nil {
 		return nil, nil, err
 	}
-	design, err := hls.Compile(app.Program(), hls.Options{
+	prog := app.Program()
+	if spec.Optimize {
+		prog, _ = opt.Optimize(prog, opt.Options{})
+	}
+	design, err := hls.Compile(prog, hls.Options{
 		Device: spec.Device, Shell: spec.Shell,
 		ClockHz: spec.ClockHz, DatapathBits: spec.DatapathBits,
-		Config: cfg,
+		Config: cfg, Optimized: spec.Optimize,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -9,6 +9,7 @@ import (
 	"flexsfp/internal/flash"
 	"flexsfp/internal/hls"
 	"flexsfp/internal/netsim"
+	"flexsfp/internal/opt"
 	"flexsfp/internal/packet"
 	"flexsfp/internal/phy"
 	"flexsfp/internal/ppe"
@@ -357,6 +358,12 @@ func (m *Module) bootNow(slot int) error {
 		return fmt.Errorf("core: configuring %q: %w", bs.AppName, err)
 	}
 	prog := app.Program()
+	if manifest.Optimized {
+		// The bitstream was compiled from the optimized structure; apply
+		// the same (idempotent) passes to the freshly instantiated app so
+		// the structural cross-check below compares like with like.
+		prog, _ = opt.Optimize(prog, opt.Options{})
+	}
 	if prog.Stages != manifest.Stages || len(prog.Tables) != len(manifest.Tables) {
 		return fmt.Errorf("core: manifest/program structure mismatch for %q", bs.AppName)
 	}

@@ -71,6 +71,10 @@ type RunContext struct {
 	// 0 keeps the default. Also a model parameter: shard membership
 	// determines canary sets, gate scopes, and blast radii.
 	FleetShards int
+	// Optimize runs the opt pass pipeline (table merging, stage fusion,
+	// XDP instruction packing) over every program experiments build.
+	// Off by default so canonical envelopes stay byte-identical.
+	Optimize bool
 	// Progress, when non-nil, receives coarse progress messages. It may
 	// be called from the goroutine running the experiment.
 	Progress func(msg string)
@@ -111,6 +115,7 @@ func (c RunContext) Params() Params {
 		Telemetry:    c.Telemetry,
 		FleetSize:    c.FleetSize,
 		FleetShards:  c.FleetShards,
+		Optimize:     c.Optimize,
 	}
 }
 
@@ -125,6 +130,7 @@ type Params struct {
 	Telemetry    bool    `json:"telemetry,omitempty"`
 	FleetSize    int     `json:"fleet_size,omitempty"`
 	FleetShards  int     `json:"fleet_shards,omitempty"`
+	Optimize     bool    `json:"optimize,omitempty"`
 }
 
 // Result is what an experiment returns: the paper-style text rendering

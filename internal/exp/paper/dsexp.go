@@ -1,0 +1,86 @@
+package paper
+
+import (
+	"fmt"
+
+	"flexsfp/internal/exp"
+	"flexsfp/internal/opt/dse"
+)
+
+// ---------------------------------------------------------------------------
+// Cost-aware design-space exploration (dse).
+
+// DSEResult wraps the sweep so the envelope detail is the full per-app
+// Pareto front (dse.Result marshals deterministically: apps sorted,
+// points in grid order, per-point seeds independent of scheduling).
+type DSEResult struct {
+	dse.Result
+}
+
+// Render formats the sweep: one row per app with its front summarized by
+// the cheapest Pareto point, then the Table 2 literature placements.
+func (r DSEResult) Render() string {
+	t := exp.NewTable("App", "Feasible", "Pareto", "Cheapest front point", "Latency (ns)", "Power (W)")
+	for _, front := range r.Apps {
+		best := -1
+		for i, p := range front.Points {
+			if p.Pareto && (best < 0 || p.CostUSD < front.Points[best].CostUSD) {
+				best = i
+			}
+		}
+		cell, lat, pw := "-", "-", "-"
+		if best >= 0 {
+			p := front.Points[best]
+			cell = fmt.Sprintf("%s %gMHz/%db ($%.0f)", p.Device, p.ClockMHz, p.DatapathBits, p.CostUSD)
+			lat = fmt.Sprintf("%.1f", p.LatencyNs)
+			pw = fmt.Sprintf("%.3f", p.PeakPowerW)
+		}
+		t.Add(front.App,
+			fmt.Sprintf("%d/%d", front.FeasibleCount, len(front.Points)),
+			front.ParetoCount, cell, lat, pw)
+	}
+	out := fmt.Sprintf("Design-space exploration: %d points/app on the %s shell\n",
+		r.GridPoints, r.Shell) + t.String()
+
+	lt := exp.NewTable("Design", "Fits?", "Device", "Cost (USD)", "Typ power (W)")
+	for _, lf := range r.Literature {
+		if lf.Fits {
+			lt.Add(lf.Design, "yes", lf.Device, fmt.Sprintf("%.0f", lf.CostUSD), fmt.Sprintf("%.1f", lf.TypPowerW))
+		} else {
+			lt.Add(lf.Design, "no ("+lf.Limiting+")", "-", "-", "-")
+		}
+	}
+	out += "Literature designs (Table 2) on the PolarFire catalog:\n" + lt.String()
+	return out
+}
+
+// runDSE is the registered entry point.
+func runDSE(ctx exp.RunContext) (exp.Result, error) {
+	cfg := dse.DefaultConfig(ctx.Seed)
+	cfg.Parallelism = ctx.Parallelism
+	res, err := dse.Explore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := DSEResult{Result: *res}
+	feasible, pareto := 0, 0
+	for _, front := range r.Apps {
+		feasible += front.FeasibleCount
+		pareto += front.ParetoCount
+	}
+	litFits := 0
+	for _, lf := range r.Literature {
+		if lf.Fits {
+			litFits++
+		}
+	}
+	env := exp.Envelope{Name: "dse", Params: ctx.Params(), Detail: r.Result}
+	env.Metrics = []exp.Metric{
+		exp.Scalar("apps", "", float64(len(r.Apps))),
+		exp.Scalar("grid_points", "", float64(r.GridPoints)),
+		exp.Scalar("feasible_points", "", float64(feasible)),
+		exp.Scalar("pareto_points", "", float64(pareto)),
+		exp.Scalar("literature_fits", "", float64(litFits)),
+	}
+	return exp.NewResult(env, r.Render), nil
+}

@@ -74,6 +74,7 @@ func runLineRateCase(ctx exp.RunContext, tc lineRateCase) (LineRatePoint, error)
 	mod, _, err := build.Module(sim, build.ModuleSpec{
 		Name: "lr-dut", DeviceID: 1, Shell: hls.TwoWayCore, App: "nat",
 		ClockHz: ctx.ClockHz, DatapathBits: ctx.DatapathBits,
+		Optimize: ctx.Optimize,
 		Config: apps.NATConfig{Mappings: []apps.NATMapping{
 			{Internal: "10.1.0.1", External: "203.0.113.1"},
 		}},
@@ -213,6 +214,7 @@ func lineRateSharded(ctx exp.RunContext) (LineRateResult, error) {
 			Name: "lr-dut-" + tc.label, DeviceID: uint32(i + 1),
 			Shell: hls.TwoWayCore, App: "nat",
 			ClockHz: ctx.ClockHz, DatapathBits: ctx.DatapathBits,
+			Optimize: ctx.Optimize,
 			Config: apps.NATConfig{Mappings: []apps.NATMapping{
 				{Internal: "10.1.0.1", External: "203.0.113.1"},
 			}},
@@ -344,7 +346,7 @@ func lineRateTrials(ctx exp.RunContext) (LineRateTrialsResult, error) {
 	tr, err := exp.RunTrials(ctx, func(_ int, seed int64) (LineRateResult, error) {
 		return lineRateSingle(exp.RunContext{
 			Seed: seed, ClockHz: ctx.ClockHz, DatapathBits: ctx.DatapathBits,
-			Telemetry: ctx.Telemetry, Shards: ctx.Shards,
+			Telemetry: ctx.Telemetry, Shards: ctx.Shards, Optimize: ctx.Optimize,
 		})
 	})
 	if err != nil {

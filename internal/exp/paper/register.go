@@ -32,6 +32,10 @@ func init() {
 			Doc: "§2.1 retrofit economics: per-port programmability for a legacy switch"},
 		exp.Def{ID: "latency", RunFn: runLatency,
 			Doc: "§6 latency overhead: in-cable processing vs a plain transceiver"},
+		exp.Def{ID: "pipeline_opt", RunFn: runPipelineOpt,
+			Doc: "pipeline optimizer: pass pipeline over the app catalog + measured XDP line-rate delta"},
+		exp.Def{ID: "dse", RunFn: runDSE,
+			Doc: "cost-aware DSE: clock × width × table sizing × device Pareto fronts per app"},
 		exp.Def{ID: "faults", RunFn: runFaults, Hidden: true,
 			Doc: "§4.2 chaos sweep: canary rollout under transport/flash/wedge faults"},
 		exp.Def{ID: "fleet_ota", RunFn: runFleetOTA, Hidden: true,

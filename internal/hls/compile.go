@@ -20,6 +20,12 @@ type Options struct {
 	// Config is an opaque app-specific configuration blob carried in the
 	// bitstream manifest (e.g. static rules loaded at boot).
 	Config []byte
+	// Optimized records that the program was run through the opt pass
+	// pipeline before compilation. The flag is carried in the manifest so
+	// the module's boot FSM re-applies the same (idempotent) passes when
+	// it re-instantiates the app, keeping the booted structure identical
+	// to the compiled one.
+	Optimized bool
 }
 
 // Compilation errors.
@@ -63,6 +69,7 @@ type Manifest struct {
 	Stages       int             `json:"stages"`
 	Tables       []ppe.TableSpec `json:"tables"`
 	Config       []byte          `json:"config,omitempty"`
+	Optimized    bool            `json:"optimized,omitempty"`
 	AppLUT4      int             `json:"app_lut4"`
 	AppFF        int             `json:"app_ff"`
 	AppUSRAM     int             `json:"app_usram"`
@@ -119,6 +126,7 @@ func Compile(p *ppe.Program, opts Options) (*Design, error) {
 		Stages:       p.Stages,
 		Tables:       p.Tables,
 		Config:       opts.Config,
+		Optimized:    opts.Optimized,
 		AppLUT4:      d.App.LUT4,
 		AppFF:        d.App.FF,
 		AppUSRAM:     d.App.USRAM,

@@ -1,0 +1,354 @@
+// Package dse is the cost-aware design-space exploration driver on top
+// of the opt pass pipeline (Kugelblitz-style, per PAPERS.md): it sweeps
+// clock × datapath width × table sizing × device for every catalog
+// application, scores each point with the hls resource estimator, the
+// fpga timing model, the core power model and the power testbed, prices
+// it with the device catalog, and reduces each app's feasible points to
+// a Pareto front over (resources, latency, power, cost).
+//
+// Every point is scored independently with a SplitMix64-derived seed
+// (runner.TrialSeed), so the sweep parallelizes over internal/runner
+// workers and the result is byte-identical at any parallelism.
+package dse
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"flexsfp/internal/apps"
+	"flexsfp/internal/core"
+	"flexsfp/internal/fpga"
+	"flexsfp/internal/hls"
+	"flexsfp/internal/netsim"
+	"flexsfp/internal/opt"
+	"flexsfp/internal/power"
+	"flexsfp/internal/ppe"
+	"flexsfp/internal/runner"
+)
+
+// Config parameterizes a sweep. Zero-value fields take the defaults of
+// DefaultConfig.
+type Config struct {
+	Seed        int64
+	Parallelism int
+	Shell       hls.Shell
+	// ClocksHz × WidthsBits × TableScales × Devices is the per-app grid.
+	ClocksHz    []int64
+	WidthsBits  []int
+	TableScales []float64
+	Devices     []fpga.Device
+	// FrameBytes is the frame size latency/capacity are quoted at.
+	FrameBytes int
+	// PowerSamples is the per-point testbed sample count.
+	PowerSamples int
+}
+
+// DefaultConfig is the standard sweep: the §5.1 baseline operating
+// point plus the double-clock and wide-datapath what-ifs, half/baseline/
+// double table sizing, against the full PolarFire catalog.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:         seed,
+		Shell:        hls.TwoWayCore,
+		ClocksHz:     []int64{156_250_000, 312_500_000, 400_000_000},
+		WidthsBits:   []int{64, 128, 256},
+		TableScales:  []float64{0.5, 1, 2},
+		Devices:      fpga.Catalog(),
+		FrameBytes:   64,
+		PowerSamples: 32,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig(c.Seed)
+	if len(c.ClocksHz) == 0 {
+		c.ClocksHz = d.ClocksHz
+	}
+	if len(c.WidthsBits) == 0 {
+		c.WidthsBits = d.WidthsBits
+	}
+	if len(c.TableScales) == 0 {
+		c.TableScales = d.TableScales
+	}
+	if len(c.Devices) == 0 {
+		c.Devices = d.Devices
+	}
+	if c.FrameBytes <= 0 {
+		c.FrameBytes = d.FrameBytes
+	}
+	if c.PowerSamples <= 0 {
+		c.PowerSamples = d.PowerSamples
+	}
+	return c
+}
+
+// Point is one evaluated design point.
+type Point struct {
+	Device       string  `json:"device"`
+	ClockMHz     float64 `json:"clock_mhz"`
+	DatapathBits int     `json:"datapath_bits"`
+	TableScale   float64 `json:"table_scale"`
+
+	Fits       bool    `json:"fits"`
+	TimingOK   bool    `json:"timing_ok"`
+	ThermalOK  bool    `json:"thermal_ok"`
+	UtilMaxPct float64 `json:"util_max_pct"`
+
+	LatencyNs    float64 `json:"latency_ns"`
+	CapacityGbps float64 `json:"capacity_gbps"`
+	PeakPowerW   float64 `json:"peak_power_w"`
+	// MeasuredPowerW is the testbed measurement of the peak draw
+	// (deterministic sensor noise), minus the NIC baseline.
+	MeasuredPowerW float64 `json:"measured_power_w"`
+	CostUSD        float64 `json:"cost_usd"`
+
+	Pareto bool `json:"pareto,omitempty"`
+}
+
+// feasible gates Pareto membership: the point must place, route, close
+// timing, and stay inside the SFP+ thermal envelope.
+func (p Point) feasible() bool { return p.Fits && p.TimingOK && p.ThermalOK }
+
+// dominates reports Pareto dominance for minimization over
+// (cost, resources, latency, power).
+func (p Point) dominates(q Point) bool {
+	le := p.CostUSD <= q.CostUSD && p.UtilMaxPct <= q.UtilMaxPct &&
+		p.LatencyNs <= q.LatencyNs && p.PeakPowerW <= q.PeakPowerW
+	lt := p.CostUSD < q.CostUSD || p.UtilMaxPct < q.UtilMaxPct ||
+		p.LatencyNs < q.LatencyNs || p.PeakPowerW < q.PeakPowerW
+	return le && lt
+}
+
+// AppFront is one application's sweep result.
+type AppFront struct {
+	App string `json:"app"`
+	// Optimizer effect on the compiled structure.
+	Opt opt.Report `json:"opt"`
+	// Points holds every evaluated grid point in grid order; Pareto
+	// marks the front among feasible points.
+	Points []Point `json:"points"`
+	// ParetoCount and FeasibleCount summarize Points.
+	FeasibleCount int `json:"feasible_count"`
+	ParetoCount   int `json:"pareto_count"`
+}
+
+// LitFit is one Table 2 literature design checked against the catalog:
+// the smallest device that hosts it and what that operating point costs.
+type LitFit struct {
+	Design    string  `json:"design"`
+	Fits      bool    `json:"fits"`
+	Device    string  `json:"device,omitempty"`
+	Limiting  string  `json:"limiting,omitempty"`
+	CostUSD   float64 `json:"cost_usd,omitempty"`
+	TypPowerW float64 `json:"typ_power_w,omitempty"`
+}
+
+// Result is a full sweep.
+type Result struct {
+	Shell      string     `json:"shell"`
+	GridPoints int        `json:"grid_points"`
+	Apps       []AppFront `json:"apps"`
+	Literature []LitFit   `json:"literature"`
+}
+
+// gridPoint addresses one (device, clock, width, scale) cell.
+type gridPoint struct {
+	device fpga.Device
+	clock  int64
+	width  int
+	scale  float64
+}
+
+// Explore runs the sweep and returns the per-app Pareto fronts plus the
+// literature-design placement table.
+func Explore(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	reg := apps.NewRegistry()
+	names := reg.Names()
+	sort.Strings(names)
+
+	// Compile and optimize each app once; grid points reuse the program.
+	progs := make([]*ppe.Program, len(names))
+	reports := make([]opt.Report, len(names))
+	for i, name := range names {
+		prog, rep, err := optimizedProgram(reg, name)
+		if err != nil {
+			return nil, fmt.Errorf("dse: %s: %w", name, err)
+		}
+		progs[i], reports[i] = prog, rep
+	}
+
+	grid := make([]gridPoint, 0,
+		len(cfg.Devices)*len(cfg.ClocksHz)*len(cfg.WidthsBits)*len(cfg.TableScales))
+	for _, dev := range cfg.Devices {
+		for _, clock := range cfg.ClocksHz {
+			for _, width := range cfg.WidthsBits {
+				for _, scale := range cfg.TableScales {
+					grid = append(grid, gridPoint{dev, clock, width, scale})
+				}
+			}
+		}
+	}
+
+	// One flat work item per (app, grid cell); runner.Map merges results
+	// in index order, so the output layout is parallelism-independent.
+	total := len(names) * len(grid)
+	points, err := runner.Map(total, runner.Options{
+		Parallelism: cfg.Parallelism, Seed: cfg.Seed,
+	}, func(trial int, _ *rand.Rand) (Point, error) {
+		return scorePoint(progs[trial/len(grid)], grid[trial%len(grid)], cfg,
+			runner.TrialSeed(cfg.Seed, trial)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Shell: cfg.Shell.String(), GridPoints: len(grid)}
+	for i, name := range names {
+		front := AppFront{App: name, Opt: reports[i]}
+		front.Points = append(front.Points, points[i*len(grid):(i+1)*len(grid)]...)
+		markPareto(front.Points)
+		for _, p := range front.Points {
+			if p.feasible() {
+				front.FeasibleCount++
+			}
+			if p.Pareto {
+				front.ParetoCount++
+			}
+		}
+		res.Apps = append(res.Apps, front)
+	}
+	res.Literature = literatureFits(cfg.Devices)
+	return res, nil
+}
+
+// optimizedProgram builds the canonically configured app and runs the
+// full optimizer over it (instruction passes ride the XDP app's
+// Optimize config flag; structural passes apply to every app).
+func optimizedProgram(reg *core.Registry, name string) (*ppe.Program, opt.Report, error) {
+	app, err := reg.New(name)
+	if err != nil {
+		return nil, opt.Report{}, err
+	}
+	cfg, err := apps.CanonicalConfig(name)
+	if err != nil {
+		return nil, opt.Report{}, err
+	}
+	if xc, ok := cfg.(apps.XDPConfig); ok {
+		xc.Optimize = true
+		cfg = xc
+	}
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, opt.Report{}, err
+	}
+	if err := app.Configure(raw); err != nil {
+		return nil, opt.Report{}, err
+	}
+	prog, rep := opt.Optimize(app.Program(), opt.Options{})
+	return prog, rep, nil
+}
+
+// scorePoint evaluates one app at one grid cell.
+func scorePoint(prog *ppe.Program, g gridPoint, cfg Config, seed int64) Point {
+	p := Point{
+		Device:       g.device.Name,
+		ClockMHz:     float64(g.clock) / 1e6,
+		DatapathBits: g.width,
+		TableScale:   g.scale,
+		CostUSD:      g.device.UnitCostUSD,
+	}
+
+	scaled := scaleTables(prog, g.scale)
+	app := hls.EstimateProgram(scaled, g.width)
+	total := app.Add(hls.ShellResources(cfg.Shell))
+	fit := g.device.Fit(total)
+	p.Fits = fit.Fits
+	p.UtilMaxPct = math.Round(fit.Utilization.Max()*100) / 100
+
+	achievable := g.device.AchievableClockMHz(fit.Utilization.Max()/100, g.width)
+	p.TimingOK = achievable >= float64(g.clock)/1e6
+	p.ThermalOK = core.WithinThermalEnvelope(g.clock, g.width, cfg.Shell)
+
+	// Cycle accounting mirrors ppe.Engine: service is header streaming
+	// or the soft core's packed schedule, whichever dominates; verdicts
+	// emerge a pipeline depth later.
+	wordBytes := g.width / 8
+	svc := int64((cfg.FrameBytes+wordBytes-1)/wordBytes) + 1
+	if pc := int64(scaled.ProgCycles); svc < pc {
+		svc = pc
+	}
+	depth := int64(scaled.PipelineDepth(g.width))
+	p.LatencyNs = math.Round(float64(svc+depth)*1e12/float64(g.clock)) / 1e3
+	pps := float64(g.clock) / float64(svc)
+	p.CapacityGbps = math.Round(pps*float64(cfg.FrameBytes)*8/1e6) / 1e3
+
+	p.PeakPowerW = core.PeakPowerW(g.clock, g.width, cfg.Shell)
+	tb := power.NewTestbed(netsim.New(seed))
+	m := tb.Measure(p.PeakPowerW, cfg.PowerSamples)
+	p.MeasuredPowerW = math.Round((m.MeanW-power.NICBaselineW)*1000) / 1000
+	return p
+}
+
+// scaleTables returns a copy of prog with table capacities scaled (the
+// table-sizing axis of the sweep); a scale of 1 shares the input slices.
+func scaleTables(prog *ppe.Program, scale float64) *ppe.Program {
+	if scale == 1 || len(prog.Tables) == 0 {
+		return prog
+	}
+	q := *prog
+	q.Tables = append([]ppe.TableSpec(nil), prog.Tables...)
+	for i := range q.Tables {
+		size := int(math.Round(float64(q.Tables[i].Size) * scale))
+		if size < 1 {
+			size = 1
+		}
+		if q.Tables[i].Kind == ppe.TableTernary && size > 4096 {
+			size = 4096 // respect the register-TCAM validation cap
+		}
+		q.Tables[i].Size = size
+	}
+	return &q
+}
+
+// markPareto flags the non-dominated feasible points.
+func markPareto(points []Point) {
+	for i := range points {
+		if !points[i].feasible() {
+			continue
+		}
+		dominated := false
+		for j := range points {
+			if i != j && points[j].feasible() && points[j].dominates(points[i]) {
+				dominated = true
+				break
+			}
+		}
+		points[i].Pareto = !dominated
+	}
+}
+
+// literatureFits places every Table 2 design on the smallest catalog
+// device that hosts it.
+func literatureFits(devices []fpga.Device) []LitFit {
+	out := make([]LitFit, 0, 4)
+	for _, ld := range fpga.LiteratureDesigns() {
+		fit := LitFit{Design: ld.Name}
+		for _, dev := range devices {
+			ok, limiting := ld.FitsDevice(dev)
+			if ok {
+				fit.Fits = true
+				fit.Device = dev.Name
+				fit.CostUSD = dev.UnitCostUSD
+				fit.TypPowerW = dev.TypPowerW
+				break
+			}
+			fit.Limiting = limiting
+		}
+		out = append(out, fit)
+	}
+	return out
+}

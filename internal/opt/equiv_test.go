@@ -1,0 +1,101 @@
+package opt_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"flexsfp/internal/apps"
+	"flexsfp/internal/core"
+	"flexsfp/internal/opt"
+	"flexsfp/internal/ppe"
+)
+
+// equivFrames is the per-app corpus size for the optimizer-equivalence
+// property (the acceptance bar is >= 10k randomized frames per app).
+const equivFrames = 10_000
+
+func canonicalApp(t *testing.T, name string, optimize bool) core.App {
+	t.Helper()
+	reg := apps.NewRegistry()
+	app, err := reg.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := apps.CanonicalConfig(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimize {
+		if xc, ok := cfg.(apps.XDPConfig); ok {
+			// The XDP app is the one whose behavioral program the
+			// instruction passes actually rewrite; opt in here.
+			xc.Optimize = true
+			cfg = xc
+		}
+	}
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Configure(raw); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return app
+}
+
+// TestOptimizerVerdictEquivalenceAllApps runs every registry app twice —
+// once plain, once through the full optimizer (structural passes on the
+// compiled program; instruction passes for the XDP app) — over the same
+// randomized frame stream, and demands identical verdicts and identical
+// (possibly rewritten) packet bytes at every step. Stateful apps see the
+// same stream in the same order, so their state evolution must match
+// too. Subtests run in parallel; the race detector covers the suite via
+// RACE_PKGS.
+func TestOptimizerVerdictEquivalenceAllApps(t *testing.T) {
+	reg := apps.NewRegistry()
+	names := reg.Names()
+	sort.Strings(names)
+	for seed, name := range names {
+		name, seed := name, int64(seed)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			base := canonicalApp(t, name, false)
+			tuned := canonicalApp(t, name, true)
+			progA := base.Program()
+			progB, rep := opt.Optimize(tuned.Program(), opt.Options{})
+			if progB.Stages > progA.Stages {
+				t.Fatalf("optimizer increased stages: %d -> %d", progA.Stages, progB.Stages)
+			}
+			if rep.DepthAfter > rep.DepthBefore {
+				t.Fatalf("optimizer increased depth: %+v", rep)
+			}
+			hA, hB := progA.Handler, progB.Handler
+			rng := rand.New(rand.NewSource(1000 + seed))
+			for i := 0; i < equivFrames; i++ {
+				n := rng.Intn(220)
+				frame := make([]byte, n)
+				rng.Read(frame)
+				a := append([]byte(nil), frame...)
+				b := append([]byte(nil), frame...)
+				dir := ppe.Direction(i % 2)
+				ts := uint64(i) * 100
+				ctxA := &ppe.Ctx{Data: a, Dir: dir, TimestampNs: ts}
+				ctxB := &ppe.Ctx{Data: b, Dir: dir, TimestampNs: ts}
+				vA := hA.HandlePacket(ctxA)
+				vB := hB.HandlePacket(ctxB)
+				if vA != vB {
+					t.Fatalf("frame %d: verdict %v (plain) vs %v (optimized)", i, vA, vB)
+				}
+				if !bytes.Equal(ctxA.Data, ctxB.Data) {
+					t.Fatalf("frame %d: rewritten bytes diverge", i)
+				}
+				if ctxA.RedirectPort != ctxB.RedirectPort {
+					t.Fatalf("frame %d: redirect port %d vs %d", i, ctxA.RedirectPort, ctxB.RedirectPort)
+				}
+			}
+		})
+	}
+}

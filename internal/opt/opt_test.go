@@ -1,0 +1,140 @@
+package opt
+
+import (
+	"testing"
+
+	"flexsfp/internal/packet"
+	"flexsfp/internal/ppe"
+)
+
+func structProg(stages int, tables []ppe.TableSpec, actions []ppe.ActionSpec) *ppe.Program {
+	return &ppe.Program{
+		Name:        "t",
+		Version:     1,
+		ParseLayers: []packet.LayerType{packet.LayerTypeEthernet, packet.LayerTypeIPv4},
+		Tables:      tables,
+		Actions:     actions,
+		Stages:      stages,
+	}
+}
+
+func TestMergeTablesSameShape(t *testing.T) {
+	p := structProg(3, []ppe.TableSpec{
+		{Name: "a", Kind: ppe.TableExact, KeyBits: 32, ValueBits: 16, Size: 1024},
+		{Name: "b", Kind: ppe.TableExact, KeyBits: 32, ValueBits: 16, Size: 512},
+		{Name: "c", Kind: ppe.TableExact, KeyBits: 64, ValueBits: 16, Size: 256},
+	}, nil)
+	q, rep := Optimize(p, Options{})
+	if rep.TablesBefore != 3 || rep.TablesAfter != 2 {
+		t.Fatalf("tables %d -> %d, want 3 -> 2", rep.TablesBefore, rep.TablesAfter)
+	}
+	m := q.Tables[0]
+	if m.Name != "a+b" || m.Size != 1536 {
+		t.Fatalf("merged table %q size %d, want a+b/1536", m.Name, m.Size)
+	}
+	if m.KeyBits != 33 { // 32 + 1 tag bit for 2 members
+		t.Fatalf("merged KeyBits = %d, want 33", m.KeyBits)
+	}
+	if q.Tables[1].Name != "c" || q.Tables[1].KeyBits != 64 {
+		t.Fatalf("unmergeable table disturbed: %+v", q.Tables[1])
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("merged program fails validation: %v", err)
+	}
+}
+
+func TestMergeTablesLeavesTernaryAlone(t *testing.T) {
+	p := structProg(2, []ppe.TableSpec{
+		{Name: "acl1", Kind: ppe.TableTernary, KeyBits: 104, ValueBits: 8, Size: 64},
+		{Name: "acl2", Kind: ppe.TableTernary, KeyBits: 104, ValueBits: 8, Size: 64},
+	}, nil)
+	_, rep := Optimize(p, Options{})
+	if rep.TablesAfter != 2 {
+		t.Fatalf("ternary tables merged: %d tables after", rep.TablesAfter)
+	}
+}
+
+func TestFuseStagesReducesDepth(t *testing.T) {
+	p := structProg(3,
+		[]ppe.TableSpec{{Name: "flows", Kind: ppe.TableExact, KeyBits: 96, ValueBits: 32, Size: 4096}},
+		[]ppe.ActionSpec{
+			{Kind: ppe.ActionRewrite, Bits: 32},
+			{Kind: ppe.ActionChecksum},
+			{Kind: ppe.ActionHash, Bits: 32},
+		})
+	q, rep := Optimize(p, Options{})
+	if rep.StagesAfter != 1 {
+		t.Fatalf("stages %d -> %d, want 1 after (1 table, 3 actions)", rep.StagesBefore, rep.StagesAfter)
+	}
+	if rep.DepthAfter >= rep.DepthBefore {
+		t.Fatalf("depth %d -> %d, want reduction", rep.DepthBefore, rep.DepthAfter)
+	}
+	if got, want := q.PipelineDepth(64), rep.DepthAfter; got != want {
+		t.Fatalf("PipelineDepth(64) = %d, report says %d", got, want)
+	}
+}
+
+func TestFuseStagesRespectsBudgets(t *testing.T) {
+	actions := make([]ppe.ActionSpec, 13) // ceil(13/6) = 3 stages of crossbar
+	for i := range actions {
+		actions[i] = ppe.ActionSpec{Kind: ppe.ActionRewrite, Bits: 16}
+	}
+	p := structProg(4, nil, actions)
+	_, rep := Optimize(p, Options{})
+	if rep.StagesAfter != 3 {
+		t.Fatalf("stages after = %d, want 3 (action budget)", rep.StagesAfter)
+	}
+}
+
+func TestFuseStagesNeverIncreases(t *testing.T) {
+	// Declared stage count below the structural need: fusion must not
+	// "fix it up" — the declaration wins when it is already smaller.
+	p := structProg(1, []ppe.TableSpec{
+		{Name: "a", Kind: ppe.TableExact, KeyBits: 32, ValueBits: 8, Size: 16},
+		{Name: "b", Kind: ppe.TableExact, KeyBits: 48, ValueBits: 8, Size: 16},
+		{Name: "c", Kind: ppe.TableExact, KeyBits: 64, ValueBits: 8, Size: 16},
+	}, nil)
+	_, rep := Optimize(p, Options{})
+	if rep.StagesAfter > rep.StagesBefore {
+		t.Fatalf("stages increased %d -> %d", rep.StagesBefore, rep.StagesAfter)
+	}
+}
+
+func TestOptimizeSoftCoreStageNeed(t *testing.T) {
+	p := structProg(4, nil, nil)
+	p.ProgCycles = 2500 // needs ceil(2500/1024) = 3 stages of instruction store
+	_, rep := Optimize(p, Options{})
+	if rep.StagesAfter != 3 {
+		t.Fatalf("stages after = %d, want 3 (ProgCycles store)", rep.StagesAfter)
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	p := structProg(4, []ppe.TableSpec{
+		{Name: "a", Kind: ppe.TableExact, KeyBits: 32, ValueBits: 16, Size: 128},
+		{Name: "b", Kind: ppe.TableExact, KeyBits: 32, ValueBits: 16, Size: 128},
+	}, []ppe.ActionSpec{{Kind: ppe.ActionChecksum}})
+	q1, rep1 := Optimize(p, Options{})
+	q2, rep2 := Optimize(q1, Options{})
+	if rep2.StagesBefore != rep2.StagesAfter || rep2.TablesBefore != rep2.TablesAfter {
+		t.Fatalf("second Optimize still changed structure: %+v", rep2)
+	}
+	if q2.Stages != q1.Stages || len(q2.Tables) != len(q1.Tables) {
+		t.Fatalf("not idempotent: %d/%d stages, %d/%d tables",
+			q1.Stages, q2.Stages, len(q1.Tables), len(q2.Tables))
+	}
+	if rep1.StagesAfter != 1 { // 1 merged table + 1 action → single stage
+		t.Fatalf("stages after first pass = %d, want 1", rep1.StagesAfter)
+	}
+}
+
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	p := structProg(3, []ppe.TableSpec{
+		{Name: "a", Kind: ppe.TableExact, KeyBits: 32, ValueBits: 16, Size: 128},
+		{Name: "b", Kind: ppe.TableExact, KeyBits: 32, ValueBits: 16, Size: 128},
+	}, nil)
+	_, _ = Optimize(p, Options{})
+	if p.Stages != 3 || len(p.Tables) != 2 || p.Tables[0].Size != 128 {
+		t.Fatalf("input program mutated: %+v", p)
+	}
+}

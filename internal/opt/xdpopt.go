@@ -1,0 +1,420 @@
+package opt
+
+import (
+	"fmt"
+
+	"flexsfp/internal/xdp"
+)
+
+// XDPReport summarizes the instruction-level passes' effect on one
+// program.
+type XDPReport struct {
+	InsnsBefore int `json:"insns_before"`
+	InsnsAfter  int `json:"insns_after"`
+	// Unreachable counts instructions removed because no path reaches
+	// them; DeadWrites counts pure register writes whose result is never
+	// read; FoldedLoads counts duplicate packet loads rewritten into
+	// register copies; ThreadedJumps counts jumps retargeted past
+	// unconditional-jump chains.
+	Unreachable   int `json:"unreachable"`
+	DeadWrites    int `json:"dead_writes"`
+	FoldedLoads   int `json:"folded_loads"`
+	ThreadedJumps int `json:"threaded_jumps"`
+	// ScalarCycles is the per-packet occupancy of the optimized program
+	// on a 1-IPC core (== InsnsAfter); PackedCycles is the VLIW schedule
+	// length at Options.IssueWidth. The ratio is the packing speedup.
+	ScalarCycles int `json:"scalar_cycles"`
+	PackedCycles int `json:"packed_cycles"`
+}
+
+// maxRounds bounds the fixpoint iteration; each pass only ever shrinks
+// the program or retargets jumps, so a handful of rounds converges.
+const maxRounds = 8
+
+// OptimizeXDP runs the instruction pass pipeline over a verified
+// program and returns an optimized copy, a report, and an error if the
+// input fails verification (the passes themselves cannot fail on a
+// verified program — the output is re-verified as a hard invariant).
+//
+// Legality: every pass preserves the program's exact observable
+// behavior — the returned action, the final packet bytes, and
+// out-of-bounds aborts. The forward-only jump guarantee from the
+// verifier is what makes single-pass reachability, block-local load
+// folding, and one-sweep reverse liveness exact rather than
+// approximations.
+//
+// Pass order within a round: unreachable-code elimination (shrinks the
+// CFG), jump threading (shortens chains, exposing more unreachable
+// code next round), duplicate-load folding (turns repeated packet
+// reads into register moves), then dead-write elimination (deletes the
+// moves folding left behind, plus any write never read). Rounds repeat
+// to a fixpoint because each pass can expose work for the others.
+func OptimizeXDP(p *xdp.Program, o Options) (*xdp.Program, XDPReport, error) {
+	o = o.withDefaults()
+	if err := p.Verify(); err != nil {
+		return nil, XDPReport{}, err
+	}
+	insns := append([]xdp.Insn(nil), p.Insns...)
+	rep := XDPReport{InsnsBefore: len(insns)}
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		var n int
+		insns, n = elimUnreachable(insns)
+		rep.Unreachable += n
+		changed = changed || n > 0
+		insns, n = threadJumps(insns)
+		rep.ThreadedJumps += n
+		changed = changed || n > 0
+		insns, n = foldDupLoads(insns)
+		rep.FoldedLoads += n
+		changed = changed || n > 0
+		insns, n = elimDeadWrites(insns)
+		rep.DeadWrites += n
+		changed = changed || n > 0
+		if !changed {
+			break
+		}
+	}
+	out := &xdp.Program{Name: p.Name, Insns: insns}
+	if err := out.Verify(); err != nil {
+		return nil, rep, fmt.Errorf("opt: optimized %q fails verification: %w", p.Name, err)
+	}
+	rep.InsnsAfter = len(insns)
+	rep.ScalarCycles = len(insns)
+	rep.PackedCycles = scheduleCycles(insns, o.IssueWidth)
+	return out, rep, nil
+}
+
+// --- Instruction classification --------------------------------------------
+
+func isJump(op xdp.Op) bool {
+	switch op {
+	case xdp.OpJmp, xdp.OpJEq, xdp.OpJNe, xdp.OpJGt, xdp.OpJLt, xdp.OpJSet:
+		return true
+	}
+	return false
+}
+
+func isLoad(op xdp.Op) bool {
+	return op == xdp.OpLdB || op == xdp.OpLdH || op == xdp.OpLdW
+}
+
+func isStore(op xdp.Op) bool {
+	return op == xdp.OpStB || op == xdp.OpStH || op == xdp.OpStW
+}
+
+// isPureALU reports whether op computes a register result with no side
+// effect and no possible fault (shifts mask their amount; there is no
+// divide), so a dead one can be deleted without changing behavior.
+func isPureALU(op xdp.Op) bool {
+	switch op {
+	case xdp.OpMov, xdp.OpAdd, xdp.OpSub, xdp.OpMul,
+		xdp.OpAnd, xdp.OpOr, xdp.OpXor, xdp.OpLsh, xdp.OpRsh:
+		return true
+	}
+	return false
+}
+
+func bit(r xdp.Reg) uint16 { return 1 << uint(r) }
+
+// insnUses returns the register-read set of in.
+func insnUses(in xdp.Insn) uint16 {
+	switch {
+	case in.Op == xdp.OpExit:
+		return bit(0) // exit returns r0
+	case in.Op == xdp.OpJmp:
+		return 0
+	case isJump(in.Op): // conditional
+		u := bit(in.Dst)
+		if !in.UseImm {
+			u |= bit(in.Src)
+		}
+		return u
+	case isLoad(in.Op):
+		return bit(in.Src)
+	case isStore(in.Op):
+		u := bit(in.Dst) // store addresses through Dst
+		if !in.UseImm {
+			u |= bit(in.Src)
+		}
+		return u
+	case in.Op == xdp.OpMov:
+		if in.UseImm {
+			return 0
+		}
+		return bit(in.Src)
+	default: // two-operand ALU reads Dst as well
+		u := bit(in.Dst)
+		if !in.UseImm {
+			u |= bit(in.Src)
+		}
+		return u
+	}
+}
+
+// insnDef returns the register-write set of in (empty for stores, jumps
+// and exit).
+func insnDef(in xdp.Insn) uint16 {
+	if isPureALU(in.Op) || isLoad(in.Op) {
+		return bit(in.Dst)
+	}
+	return 0
+}
+
+// blockLeaders marks basic-block leader instructions: entry, every jump
+// target, and every fall-through successor of a conditional jump.
+func blockLeaders(insns []xdp.Insn) []bool {
+	l := make([]bool, len(insns))
+	if len(insns) > 0 {
+		l[0] = true
+	}
+	for i, in := range insns {
+		if !isJump(in.Op) {
+			continue
+		}
+		l[i+1+int(in.Off)] = true
+		if i+1 < len(insns) {
+			l[i+1] = true
+		}
+	}
+	return l
+}
+
+// --- Passes ----------------------------------------------------------------
+
+// elimUnreachable removes instructions no path reaches. Exact in one
+// forward sweep because all jumps point forward.
+func elimUnreachable(insns []xdp.Insn) ([]xdp.Insn, int) {
+	n := len(insns)
+	reach := make([]bool, n)
+	reach[0] = true
+	for i := 0; i < n; i++ {
+		if !reach[i] {
+			continue
+		}
+		in := insns[i]
+		switch {
+		case in.Op == xdp.OpExit:
+			// terminal
+		case in.Op == xdp.OpJmp:
+			reach[i+1+int(in.Off)] = true
+		case isJump(in.Op):
+			reach[i+1+int(in.Off)] = true
+			reach[i+1] = true
+		default:
+			reach[i+1] = true
+		}
+	}
+	dead := make([]bool, n)
+	any := false
+	for i := range dead {
+		if !reach[i] {
+			dead[i] = true
+			any = true
+		}
+	}
+	if !any {
+		return insns, 0
+	}
+	return removeDead(insns, dead)
+}
+
+// threadJumps retargets every jump whose destination is an
+// unconditional jump to that jump's final destination, collapsing
+// jump→jump chains. Chains are strictly forward, so following them
+// terminates; the hop guard is belt and braces.
+func threadJumps(insns []xdp.Insn) ([]xdp.Insn, int) {
+	changed := 0
+	for i := range insns {
+		in := &insns[i]
+		if !isJump(in.Op) {
+			continue
+		}
+		t := i + 1 + int(in.Off)
+		hops := 0
+		for hops < len(insns) && insns[t].Op == xdp.OpJmp {
+			t = t + 1 + int(insns[t].Off)
+			hops++
+		}
+		if hops > 0 {
+			in.Off = int16(t - i - 1)
+			changed++
+		}
+	}
+	return insns, changed
+}
+
+// availLoad is one block-local available-load record: a packet load
+// (op, addr reg, offset) whose result still lives in dst.
+type availLoad struct {
+	op  xdp.Op
+	src xdp.Reg
+	off int16
+	dst xdp.Reg
+}
+
+// foldDupLoads rewrites a packet load identical to an earlier one in
+// the same basic block (same size, same address register with no
+// intervening write to it, no intervening packet store) into a register
+// copy of the first load's destination.
+//
+// Legality, including aborts: the earlier load bounds-checked the exact
+// same address and size and succeeded (or execution never got here), so
+// the duplicate's check is provably redundant; and because the block
+// saw no packet store, the loaded bytes are unchanged. Block-locality
+// makes the dominance argument trivial — within a block the first load
+// is on every path to the second.
+func foldDupLoads(insns []xdp.Insn) ([]xdp.Insn, int) {
+	leaders := blockLeaders(insns)
+	folded := 0
+	var avail []availLoad
+	for i := range insns {
+		if leaders[i] {
+			avail = avail[:0]
+		}
+		in := &insns[i]
+		switch {
+		case isLoad(in.Op):
+			hit := -1
+			for k, a := range avail {
+				if a.op == in.Op && a.src == in.Src && a.off == in.Off {
+					hit = k
+					break
+				}
+			}
+			if hit >= 0 {
+				prev := avail[hit].dst
+				dst := in.Dst
+				*in = xdp.Insn{Op: xdp.OpMov, Dst: dst, Src: prev}
+				folded++
+				invalidateReg(&avail, dst)
+			} else {
+				dst := in.Dst
+				invalidateReg(&avail, dst)
+				if dst != in.Src {
+					// A load into its own address register destroys the
+					// address — the value is not re-derivable, so don't
+					// record it.
+					avail = append(avail, availLoad{in.Op, in.Src, in.Off, dst})
+				}
+			}
+		case isStore(in.Op):
+			avail = avail[:0] // packet mutated: every cached load is stale
+		case insnDef(*in) != 0:
+			invalidateReg(&avail, in.Dst)
+		}
+	}
+	return insns, folded
+}
+
+// invalidateReg drops available-load records that read or hold r.
+func invalidateReg(avail *[]availLoad, r xdp.Reg) {
+	kept := (*avail)[:0]
+	for _, a := range *avail {
+		if a.dst != r && a.src != r {
+			kept = append(kept, a)
+		}
+	}
+	*avail = kept
+}
+
+// elimDeadWrites deletes pure register writes whose result no path ever
+// reads, found with one reverse liveness sweep (exact: forward-only
+// jumps mean instruction order is a topological order of the CFG, so
+// successors' live-in sets are final when a predecessor is visited).
+// Only pure ALU/mov instructions are candidates — loads can fault
+// (their bounds check is a side effect) and stores mutate the packet. A
+// register self-copy (mov r, r) is deleted regardless of liveness.
+func elimDeadWrites(insns []xdp.Insn) ([]xdp.Insn, int) {
+	n := len(insns)
+	liveIn := make([]uint16, n)
+	dead := make([]bool, n)
+	any := false
+	for i := n - 1; i >= 0; i-- {
+		in := insns[i]
+		var out uint16
+		switch {
+		case in.Op == xdp.OpExit:
+			// no successors
+		case in.Op == xdp.OpJmp:
+			out = liveIn[i+1+int(in.Off)]
+		case isJump(in.Op):
+			out = liveIn[i+1] | liveIn[i+1+int(in.Off)]
+		default:
+			if i+1 < n {
+				out = liveIn[i+1]
+			}
+		}
+		if isPureALU(in.Op) {
+			selfCopy := in.Op == xdp.OpMov && !in.UseImm && in.Dst == in.Src
+			if out&bit(in.Dst) == 0 || selfCopy {
+				dead[i] = true
+				any = true
+				liveIn[i] = out
+				continue
+			}
+		}
+		liveIn[i] = (out &^ insnDef(in)) | insnUses(in)
+	}
+	if !any {
+		return insns, 0
+	}
+	return removeDead(insns, dead)
+}
+
+// --- Dead-instruction removal with jump remapping --------------------------
+
+// removeDead deletes the marked instructions and remaps every surviving
+// jump's displacement. A jump whose entire span dies becomes a
+// fall-through; a (conditional or not) jump to its own successor is a
+// semantic no-op — and an encoding the verifier rejects (Off <= 0) — so
+// the fixpoint marks such jumps dead too before the single remap.
+func removeDead(insns []xdp.Insn, dead []bool) ([]xdp.Insn, int) {
+	for {
+		newIdx := indexMap(insns, dead)
+		changed := false
+		for i, in := range insns {
+			if dead[i] || !isJump(in.Op) {
+				continue
+			}
+			t := i + 1 + int(in.Off)
+			if newIdx[t] == newIdx[i]+1 {
+				dead[i] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	newIdx := indexMap(insns, dead)
+	out := make([]xdp.Insn, 0, len(insns))
+	removed := 0
+	for i, in := range insns {
+		if dead[i] {
+			removed++
+			continue
+		}
+		if isJump(in.Op) {
+			t := i + 1 + int(in.Off)
+			in.Off = int16(newIdx[t] - newIdx[i] - 1)
+		}
+		out = append(out, in)
+	}
+	return out, removed
+}
+
+// indexMap returns, for every old index (plus one past the end), the
+// new index of the first kept instruction at or after it.
+func indexMap(insns []xdp.Insn, dead []bool) []int {
+	idx := make([]int, len(insns)+1)
+	kept := 0
+	for i := range insns {
+		idx[i] = kept
+		if !dead[i] {
+			kept++
+		}
+	}
+	idx[len(insns)] = kept
+	return idx
+}

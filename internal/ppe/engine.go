@@ -19,8 +19,9 @@ type Engine struct {
 	clockHz      int64
 	datapathBits int
 
-	prog  *Program
-	depth int // pipeline depth in cycles
+	prog       *Program
+	depth      int   // pipeline depth in cycles
+	progCycles int64 // per-packet soft-core occupancy (0 = fully pipelined)
 
 	// QueueLimit bounds frames waiting for the pipeline input; 0 means
 	// unbounded. Full-queue arrivals are dropped (counted).
@@ -140,6 +141,7 @@ func (e *Engine) SetProgram(p *Program) error {
 	}
 	e.prog = p
 	e.depth = p.PipelineDepth(e.datapathBits)
+	e.progCycles = int64(p.ProgCycles)
 	return nil
 }
 
@@ -159,10 +161,19 @@ func (e *Engine) Stats() EngineStats { return e.stats }
 // construction; the clock never changes after NewEngine).
 func (e *Engine) cyclePs() int64 { return e.period }
 
-// ServiceCycles returns the input occupancy of a frame of n bytes.
+// ServiceCycles returns the input occupancy of a frame of n bytes: the
+// header-streaming occupancy (one datapath word per clock plus the
+// realignment bubble), or the program's soft-core execution time when the
+// loaded program is instruction-bound (Program.ProgCycles) — whichever
+// dominates. For fully pipelined programs this is the pre-existing
+// streaming formula unchanged.
 func (e *Engine) ServiceCycles(n int) int64 {
 	wordBytes := e.datapathBits / 8
-	return int64((n+wordBytes-1)/wordBytes) + 1
+	c := int64((n+wordBytes-1)/wordBytes) + 1
+	if c < e.progCycles {
+		c = e.progCycles
+	}
+	return c
 }
 
 // CapacityPPS returns the maximum sustainable packet rate for frames of n

@@ -177,6 +177,14 @@ type Program struct {
 	// Stages is the number of match-action stages (the paper keeps
 	// chains compact: about 3–4 stages in a Two-Way-Core, §5.3).
 	Stages int
+	// ProgCycles, when non-zero, marks the program as executing on a
+	// sequential soft core (the hXDP-class eBPF datapath) that needs this
+	// many clock cycles per packet. The pipeline input is then occupied
+	// for max(streaming words, ProgCycles) cycles, so instruction-bound
+	// programs saturate below wire rate until an optimizer compacts and
+	// packs them. Zero means fully pipelined match-action logic whose
+	// service time is set by header streaming alone.
+	ProgCycles int
 	// Handler is the behavioral model; nil programs are structure-only
 	// (useful for synthesis studies).
 	Handler Handler
@@ -184,11 +192,12 @@ type Program struct {
 
 // Validation errors.
 var (
-	ErrNoName      = errors.New("ppe: program has no name")
-	ErrNoStages    = errors.New("ppe: program needs at least one stage")
-	ErrBadTable    = errors.New("ppe: invalid table spec")
-	ErrBadAction   = errors.New("ppe: invalid action spec")
-	ErrBadRegister = errors.New("ppe: invalid register spec")
+	ErrNoName        = errors.New("ppe: program has no name")
+	ErrNoStages      = errors.New("ppe: program needs at least one stage")
+	ErrBadProgCycles = errors.New("ppe: negative ProgCycles")
+	ErrBadTable      = errors.New("ppe: invalid table spec")
+	ErrBadAction     = errors.New("ppe: invalid action spec")
+	ErrBadRegister   = errors.New("ppe: invalid register spec")
 )
 
 // Validate checks the declarative structure.
@@ -198,6 +207,9 @@ func (p *Program) Validate() error {
 	}
 	if p.Stages < 1 {
 		return ErrNoStages
+	}
+	if p.ProgCycles < 0 {
+		return fmt.Errorf("%w: %d", ErrBadProgCycles, p.ProgCycles)
 	}
 	for _, t := range p.Tables {
 		if t.Name == "" || t.KeyBits <= 0 || t.ValueBits < 0 || t.Size <= 0 {

@@ -1,0 +1,112 @@
+package xdp_test
+
+import (
+	"testing"
+
+	"flexsfp/internal/fpga"
+	"flexsfp/internal/hls"
+	"flexsfp/internal/xdp"
+)
+
+// progOfSize builds a verifiable program with exactly n instructions
+// (n >= 2): filler movs, then the pass/exit epilogue.
+func progOfSize(n int) *xdp.Program {
+	insns := make([]xdp.Insn, 0, n)
+	for i := 0; i < n-2; i++ {
+		insns = append(insns, xdp.MovImm(1, int64(i)))
+	}
+	insns = append(insns, xdp.MovImm(0, xdp.ActPass), xdp.Exit())
+	return &xdp.Program{Name: "sized", Insns: insns}
+}
+
+// TestStageRoundingBoundaries pins the ceiling rounding of the
+// instruction-store → stage mapping at the exact-multiple boundaries
+// (insns % InsnsPerStage == 0). The historical off-by-one charged a
+// fully filled store an extra empty stage: stagesFor(1024) was 2.
+func TestStageRoundingBoundaries(t *testing.T) {
+	cases := []struct {
+		insns, stages int
+	}{
+		{2, 1},
+		{1023, 1},
+		{1024, 1}, // exact multiple: fills one stage, not one-plus
+		{1025, 2},
+		{2047, 2},
+		{2048, 2}, // exact multiple
+		{2049, 3},
+		{3072, 3}, // exact multiple
+		{4095, 4},
+		{4096, 4}, // MaxInsns: still the 4-stage clamp
+	}
+	for _, c := range cases {
+		p := progOfSize(c.insns)
+		prog, err := xdp.Offload(p)
+		if err != nil {
+			t.Fatalf("offload %d insns: %v", c.insns, err)
+		}
+		if prog.Stages != c.stages {
+			t.Errorf("stages(%d insns) = %d, want %d", c.insns, prog.Stages, c.stages)
+		}
+		if prog.ProgCycles != c.insns {
+			t.Errorf("ProgCycles(%d insns) = %d, want scalar retire", c.insns, prog.ProgCycles)
+		}
+	}
+}
+
+// TestOffloadAgreesWithHLSAtBoundary cross-checks the two estimators the
+// way the satellite demands: the per-stage charges hls.EstimateProgram
+// levies must not jump across an exact-multiple boundary (1023 → 1024
+// instructions keeps one stage, so identical stage/action structure ⇒
+// identical estimate), and must jump exactly when the store spills
+// (1024 → 1025).
+func TestOffloadAgreesWithHLSAtBoundary(t *testing.T) {
+	est := func(insns int) (int, fpga.Resources) {
+		p, err := xdp.Offload(progOfSize(insns))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Stages, hls.EstimateProgram(p, 64)
+	}
+	s1023, r1023 := est(1023)
+	s1024, r1024 := est(1024)
+	s1025, r1025 := est(1025)
+	if s1023 != s1024 {
+		t.Fatalf("stage count changed below the boundary: %d vs %d", s1023, s1024)
+	}
+	if r1023 != r1024 {
+		t.Fatalf("estimate changed without a structural change: %+v vs %+v", r1023, r1024)
+	}
+	if s1025 != s1024+1 {
+		t.Fatalf("crossing the boundary must add exactly one stage: %d -> %d", s1024, s1025)
+	}
+	if r1025.LUT4 <= r1024.LUT4 || r1025.USRAM <= r1024.USRAM {
+		t.Fatalf("extra stage did not cost fabric: %+v -> %+v", r1024, r1025)
+	}
+}
+
+// TestAlignedCostClampBoundaries pins the checked-access unit's cost
+// envelope: the offloaded ActionRewrite width is the aligned
+// per-instruction cost clamped inclusively to [32, 4096], so the exact
+// envelope edge (512 insns × 8 = 4096) prices the envelope itself.
+func TestAlignedCostClampBoundaries(t *testing.T) {
+	cases := []struct {
+		insns, bits int
+	}{
+		{2, 32},      // floor clamp
+		{4, 32},      // exactly the floor
+		{5, 40},      // just above the floor
+		{511, 4088},  // just under the ceiling
+		{512, 4096},  // exactly the ceiling
+		{513, 4096},  // ceiling clamp
+		{4096, 4096}, // max program
+	}
+	for _, c := range cases {
+		p, err := xdp.Offload(progOfSize(c.insns))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Actions[0].Bits; got != c.bits {
+			t.Errorf("alignedCost(%d insns) = %d bits, want %d", c.insns, got, c.bits)
+		}
+	}
+}

@@ -37,6 +37,11 @@ func Offload(p *Program) (*ppe.Program, error) {
 			{Kind: ppe.ActionHash, Bits: 32},
 		},
 		Stages: stagesFor(len(p.Insns)),
+		// The soft core retires one instruction per clock, so a packet
+		// occupies the input for the program length (worst case: every
+		// instruction on the longest path executes). The optimizer's
+		// packing pass overrides this with the VLIW schedule length.
+		ProgCycles: len(p.Insns),
 		Handler: ppe.HandlerFunc(func(ctx *ppe.Ctx) ppe.Verdict {
 			act, err := p.Run(ctx.Data)
 			if err != nil {
@@ -60,16 +65,33 @@ func Offload(p *Program) (*ppe.Program, error) {
 	return prog, nil
 }
 
-// stagesFor maps program size onto match-action stages: the soft core
-// retires ~1k instructions per stage-equivalent of fabric.
+// InsnsPerStage is the instruction-store capacity of one stage-equivalent
+// of fabric: the soft core retires ~1k instructions per stage.
+const InsnsPerStage = 1024
+
+// stagesFor maps program size onto match-action stages with ceiling
+// rounding, so an exact multiple of InsnsPerStage fills its stages
+// without spilling an off-by-one extra stage (insns % per == 0 boundary):
+// stagesFor(1024) == 1, stagesFor(1025) == 2. This is the same rounding
+// hls.EstimateProgram applies to every other capacity (LSRAMBlocksFor,
+// word counts), so the direct estimate and the HLS estimate agree at the
+// boundaries.
 func stagesFor(insns int) int {
-	s := 1 + insns/1024
+	s := (insns + InsnsPerStage - 1) / InsnsPerStage
+	if s < 1 {
+		s = 1
+	}
 	if s > 4 {
 		s = 4
 	}
 	return s
 }
 
+// alignedCost converts an instruction count into the estimator's aligned
+// per-primitive cost units (per units each), clamped to the checked-access
+// unit's [32, 4096] envelope. The clamps are inclusive so an exact
+// boundary count (insns*per == 4096) prices the envelope itself rather
+// than rounding past it.
 func alignedCost(insns, per int) int {
 	c := insns * per
 	if c < 32 {
