@@ -5,13 +5,13 @@ GO ?= go
 # transports, the lock-free datapath tables, the telemetry record paths):
 # the race pass focuses here so `make check` stays fast; `make race-all`
 # still sweeps everything.
-RACE_PKGS = ./internal/mgmt ./internal/netsim ./internal/runner ./internal/exp/... ./internal/faults ./internal/ppe ./internal/reliability ./internal/telemetry ./internal/daemon ./internal/opt/... ./internal/xdp
+RACE_PKGS = ./internal/mgmt ./internal/netsim ./internal/runner ./internal/exp/... ./internal/faults ./internal/ppe ./internal/reliability ./internal/telemetry ./internal/daemon ./internal/opt/... ./internal/xdp ./internal/trafficgen ./internal/packet ./internal/apps
 
 # Packages holding the per-frame hot paths; bench-json and the smoke run
 # cover exactly these plus the root end-to-end suites.
 HOT_PKGS = ./internal/ppe ./internal/netsim ./internal/trafficgen .
 
-.PHONY: all build test race race-all bench bench-json bench-list smoke shard-smoke fuzz-smoke telemetry-smoke fleet-smoke opt-smoke vet fmt check examples reports clean
+.PHONY: all build test race race-all bench bench-json bench-list smoke shard-smoke fuzz-smoke telemetry-smoke fleet-smoke opt-smoke catalog-smoke vet fmt check examples reports clean
 
 all: build test
 
@@ -21,7 +21,7 @@ all: build test
 # the shard-determinism smoke, a short pass over every native fuzz
 # target, and a race-mode run of the default experiment suite with
 # telemetry attached.
-check: build test race vet bench-list smoke shard-smoke fuzz-smoke telemetry-smoke fleet-smoke opt-smoke
+check: build test race vet bench-list smoke shard-smoke fuzz-smoke telemetry-smoke fleet-smoke opt-smoke catalog-smoke
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,7 @@ fuzz-smoke:
 	$(GO) test -fuzz 'FuzzAgentHandle' -fuzztime 10s ./internal/mgmt > /dev/null
 	$(GO) test -fuzz 'FuzzPacketDecode' -fuzztime 10s ./internal/packet > /dev/null
 	$(GO) test -fuzz 'FuzzParserDecodeLayers' -fuzztime 10s ./internal/packet > /dev/null
+	$(GO) test -fuzz 'FuzzViewVsDecode' -fuzztime 10s ./internal/packet > /dev/null
 	$(GO) test -fuzz 'FuzzXDPVerify' -fuzztime 10s ./internal/xdp > /dev/null
 	$(GO) test -fuzz 'FuzzXDPRun' -fuzztime 10s ./internal/xdp > /dev/null
 	$(GO) test -fuzz 'FuzzOptimizeEquivalence' -fuzztime 10s ./internal/opt > /dev/null
@@ -96,6 +97,17 @@ opt-smoke:
 	printf '%s\n' "$$out" | grep -A1 '"name": "depth_regressions"' | grep -q '"mean": 0' || { echo "opt-smoke: optimizer increased a pipeline depth" >&2; exit 1; }; \
 	printf '%s\n' "$$out" | grep -A1 '"name": "verdict_mismatches"' | grep -q '"mean": 0' || { echo "opt-smoke: optimized verdicts diverged" >&2; exit 1; }; \
 	echo "opt-smoke: all apps optimize with no depth regressions and matching verdicts"
+
+# App-catalog gate: every registry app (plus the two-way shell) must fit
+# the MPF200T, and the edge-protocol trio (arpguard, dhcpsnoop, dnsblock)
+# must hold line rate on its matched traffic profile. The xdp interpreter
+# is program-bound (≈10.5 Mpps < 64B line rate), so the gate checks
+# fits_all + new_apps_line_rate, not line rate over every app.
+catalog-smoke:
+	@out="$$($(GO) run ./cmd/flexsfp-bench -run catalog -json)"; \
+	printf '%s\n' "$$out" | grep -A2 '"name": "fits_all"' | grep -q '"mean": 1' || { echo "catalog-smoke: an app does not fit the MPF200T" >&2; exit 1; }; \
+	printf '%s\n' "$$out" | grep -A2 '"name": "new_apps_line_rate"' | grep -q '"mean": 1' || { echo "catalog-smoke: a new app dropped frames on its matched profile" >&2; exit 1; }; \
+	echo "catalog-smoke: all apps fit, edge-protocol trio holds line rate"
 
 # Registry smoke check: the bench binary must enumerate a non-empty
 # experiment catalog with unique names (a broken registration init or a

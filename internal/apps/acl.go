@@ -56,7 +56,7 @@ type aclApp struct {
 	verdicts    *ppe.CounterBank
 	defaultDeny bool
 	dir         string
-	v           view
+	v           packet.View
 	keyBuf      [13]byte
 }
 
@@ -165,11 +165,11 @@ func (a *aclApp) handle(ctx *ppe.Ctx) ppe.Verdict {
 	if !dirEnabled(a.dir, ctx.Dir) {
 		return ppe.VerdictPass
 	}
-	if !a.v.parse(ctx.Data) {
+	if !a.v.Parse(ctx.Data) {
 		a.verdicts.Inc(ACLDenied, len(ctx.Data))
 		return ppe.VerdictDrop // unparseable at the firewall: drop
 	}
-	key := a.v.fiveTupleKey(a.keyBuf[:])
+	key := a.v.FiveTupleKey(a.keyBuf[:])
 	data, ok := a.rules.Lookup(key)
 	if !ok {
 		a.verdicts.Inc(ACLDefaulted, len(ctx.Data))

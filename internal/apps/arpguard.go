@@ -1,0 +1,155 @@
+package apps
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/netip"
+
+	"flexsfp/internal/packet"
+	"flexsfp/internal/ppe"
+)
+
+// ARPGuardBindings is the binding-table capacity (one entry per host
+// behind the edge port).
+const ARPGuardBindings = 4096
+
+// ARPGuardConfig configures dynamic-ARP-inspection-style spoof guarding:
+// ARP frames whose sender claims an IP bound to a different MAC are
+// dropped before they can poison neighbor caches.
+type ARPGuardConfig struct {
+	// Bindings are the authoritative IP→MAC pairs (static entries; the
+	// DHCP-snooping app can feed the same shape dynamically).
+	Bindings []ARPBinding `json:"bindings,omitempty"`
+	// Strict drops ARP frames whose sender IP has no binding at all.
+	Strict bool `json:"strict,omitempty"`
+	// Direction limits enforcement ("edge-to-optical" by default: hosts
+	// behind the edge port are the untrusted side).
+	Direction string `json:"direction,omitempty"`
+}
+
+// ARPBinding is one authoritative IP→MAC pair.
+type ARPBinding struct {
+	IP  string `json:"ip"`
+	MAC string `json:"mac"`
+}
+
+// ARP-guard counter indexes (bank "arpguard").
+const (
+	ARPGuardPassed = iota
+	ARPGuardSpoofDropped
+	ARPGuardUnknownDropped
+	ARPGuardNonARP
+	arpGuardCounters
+)
+
+type arpGuardApp struct {
+	prog     *ppe.Program
+	state    *ppe.State
+	bindings *ppe.Table // sender IPv4(32b) → MAC(48b)
+	ctr      *ppe.CounterBank
+	strict   bool
+	dir      string
+	v        packet.View
+}
+
+// NewARPGuard builds an ARP-spoof guard instance.
+func NewARPGuard() *arpGuardApp {
+	a := &arpGuardApp{state: ppe.NewState(), dir: "edge-to-optical"}
+	spec := ppe.TableSpec{Name: "arp_bindings", Kind: ppe.TableExact, KeyBits: 32, ValueBits: 48, Size: ARPGuardBindings}
+	a.bindings = a.state.AddTable(spec)
+	a.ctr = a.state.AddCounters("arpguard", arpGuardCounters)
+	a.prog = &ppe.Program{
+		Name:        "arpguard",
+		Version:     1,
+		ParseLayers: []packet.LayerType{packet.LayerTypeEthernet, packet.LayerTypeARP},
+		Tables:      []ppe.TableSpec{spec},
+		Actions: []ppe.ActionSpec{
+			{Kind: ppe.ActionCounterBank, Count: arpGuardCounters},
+		},
+		Stages:  2,
+		Handler: ppe.HandlerFunc(a.handle),
+	}
+	return a
+}
+
+// Program implements core.App.
+func (a *arpGuardApp) Program() *ppe.Program { return a.prog }
+
+// State implements core.App.
+func (a *arpGuardApp) State() *ppe.State { return a.state }
+
+// Configure implements core.App.
+func (a *arpGuardApp) Configure(config []byte) error {
+	if len(config) == 0 {
+		return nil
+	}
+	var cfg ARPGuardConfig
+	if err := json.Unmarshal(config, &cfg); err != nil {
+		return fmt.Errorf("arpguard: %w", err)
+	}
+	a.strict = cfg.Strict
+	if cfg.Direction != "" {
+		a.dir = cfg.Direction
+	}
+	for _, b := range cfg.Bindings {
+		if err := a.Bind(b.IP, b.MAC); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bind installs one authoritative IP→MAC binding.
+func (a *arpGuardApp) Bind(ip, mac string) error {
+	addr, err := netip.ParseAddr(ip)
+	if err != nil || !addr.Is4() {
+		return fmt.Errorf("arpguard: bad binding IP %q", ip)
+	}
+	hw, err := packet.ParseMAC(mac)
+	if err != nil {
+		return fmt.Errorf("arpguard: bad binding MAC %q: %w", mac, err)
+	}
+	a4 := addr.As4()
+	return a.bindings.Add(a4[:], hw[:])
+}
+
+func (a *arpGuardApp) handle(ctx *ppe.Ctx) ppe.Verdict {
+	if !a.v.Parse(ctx.Data) || !a.v.IsARP || !dirEnabled(a.dir, ctx.Dir) {
+		if a.v.IsARP {
+			a.ctr.Inc(ARPGuardPassed, len(ctx.Data))
+		} else {
+			a.ctr.Inc(ARPGuardNonARP, len(ctx.Data))
+		}
+		return ppe.VerdictPass
+	}
+	v := &a.v
+
+	// A sender claiming an unowned address (0.0.0.0 is a DAD probe) is
+	// exempt from lookup but a spoofed L2 source is not: the Ethernet
+	// source must match the ARP sender hardware address.
+	if !bytes.Equal(ctx.Data[6:12], v.ARPSenderMAC()) {
+		a.ctr.Inc(ARPGuardSpoofDropped, len(ctx.Data))
+		return ppe.VerdictDrop
+	}
+	sender := v.ARPSenderIP()
+	if sender[0] == 0 && sender[1] == 0 && sender[2] == 0 && sender[3] == 0 {
+		a.ctr.Inc(ARPGuardPassed, len(ctx.Data))
+		return ppe.VerdictPass
+	}
+	mac, ok := a.bindings.Lookup(sender)
+	if !ok {
+		if a.strict {
+			a.ctr.Inc(ARPGuardUnknownDropped, len(ctx.Data))
+			return ppe.VerdictDrop
+		}
+		a.ctr.Inc(ARPGuardPassed, len(ctx.Data))
+		return ppe.VerdictPass
+	}
+	if !bytes.Equal(mac, v.ARPSenderMAC()) {
+		a.ctr.Inc(ARPGuardSpoofDropped, len(ctx.Data))
+		return ppe.VerdictDrop
+	}
+	a.ctr.Inc(ARPGuardPassed, len(ctx.Data))
+	return ppe.VerdictPass
+}

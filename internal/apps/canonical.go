@@ -54,6 +54,12 @@ func CanonicalConfig(name string) (any, error) {
 		return MonitorConfig{}, nil
 	case "xdp":
 		return XDPConfig{Program: *CanonicalXDPProgram()}, nil
+	case "arpguard":
+		return ARPGuardConfig{Bindings: []ARPBinding{{IP: "10.0.0.1", MAC: "02:aa:00:00:00:01"}}}, nil
+	case "dhcpsnoop":
+		return DHCPSnoopConfig{DropUntrustedRelease: true}, nil
+	case "dnsblock":
+		return DNSBlockConfig{Domains: []string{"ads.example"}}, nil
 	}
 	return nil, fmt.Errorf("apps: no canonical config for %q", name)
 }

@@ -1,0 +1,147 @@
+package apps
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"flexsfp/internal/packet"
+	"flexsfp/internal/ppe"
+)
+
+// DNSBlockNames is the blocklist capacity (suffix hashes).
+const DNSBlockNames = 16384
+
+// DNSBlockConfig configures the line-rate DNS blocklist. Unlike the
+// dohblock app — which decodes the full DNS message and also cuts DoH
+// resolver traffic — this app models the hardware fast path: the QNAME
+// is extracted straight from the parser view with zero allocation and
+// every parent suffix is hashed against an exact-match table, so the
+// whole decision fits the match-action pipeline.
+type DNSBlockConfig struct {
+	// Domains are blocked together with all their subdomains.
+	Domains []string `json:"domains,omitempty"`
+	// Direction limits enforcement ("edge-to-optical" by default:
+	// queries leaving subscriber hosts).
+	Direction string `json:"direction,omitempty"`
+}
+
+// DNS-block counter indexes (bank "dnsblock").
+const (
+	DNSBlockPassed = iota
+	DNSBlockDropped
+	DNSBlockNonDNS
+	dnsBlockCounters
+)
+
+type dnsBlockApp struct {
+	prog  *ppe.Program
+	state *ppe.State
+	names *ppe.Table // packet.FNV64(qname suffix)(64b) → action(8b)
+	ctr   *ppe.CounterBank
+	dir   string
+	v     packet.View
+	qbuf  [256]byte // QNAME scratch; keeps the handler allocation-free
+}
+
+// NewDNSBlock builds a DNS blocklist instance.
+func NewDNSBlock() *dnsBlockApp {
+	a := &dnsBlockApp{state: ppe.NewState(), dir: "edge-to-optical"}
+	spec := ppe.TableSpec{Name: "dns_blocklist", Kind: ppe.TableExact, KeyBits: 64, ValueBits: 8, Size: DNSBlockNames}
+	a.names = a.state.AddTable(spec)
+	a.ctr = a.state.AddCounters("dnsblock", dnsBlockCounters)
+	a.prog = &ppe.Program{
+		Name:    "dnsblock",
+		Version: 1,
+		ParseLayers: []packet.LayerType{
+			packet.LayerTypeEthernet, packet.LayerTypeIPv4,
+			packet.LayerTypeUDP, packet.LayerTypeDNS,
+		},
+		Tables: []ppe.TableSpec{spec},
+		Actions: []ppe.ActionSpec{
+			{Kind: ppe.ActionHash, Bits: 64},
+			{Kind: ppe.ActionCounterBank, Count: dnsBlockCounters},
+		},
+		Stages:  2,
+		Handler: ppe.HandlerFunc(a.handle),
+	}
+	return a
+}
+
+// Program implements core.App.
+func (a *dnsBlockApp) Program() *ppe.Program { return a.prog }
+
+// State implements core.App.
+func (a *dnsBlockApp) State() *ppe.State { return a.state }
+
+// Configure implements core.App.
+func (a *dnsBlockApp) Configure(config []byte) error {
+	if len(config) == 0 {
+		return nil
+	}
+	var cfg DNSBlockConfig
+	if err := json.Unmarshal(config, &cfg); err != nil {
+		return fmt.Errorf("dnsblock: %w", err)
+	}
+	if cfg.Direction != "" {
+		a.dir = cfg.Direction
+	}
+	for _, d := range cfg.Domains {
+		if err := a.Block(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Block adds a domain (and implicitly all subdomains) to the blocklist.
+func (a *dnsBlockApp) Block(domain string) error {
+	domain = strings.ToLower(strings.TrimSuffix(domain, "."))
+	if domain == "" {
+		return fmt.Errorf("dnsblock: empty domain")
+	}
+	var key [8]byte
+	binary.BigEndian.PutUint64(key[:], packet.FNV64([]byte(domain)))
+	return a.names.Add(key[:], []byte{1})
+}
+
+func (a *dnsBlockApp) handle(ctx *ppe.Ctx) ppe.Verdict {
+	if !a.v.Parse(ctx.Data) || !dirEnabled(a.dir, ctx.Dir) {
+		a.ctr.Inc(DNSBlockNonDNS, len(ctx.Data))
+		return ppe.VerdictPass
+	}
+	v := &a.v
+	if _, ok := v.DNSPayload(); !ok || v.DstPort != packet.PortDNS || v.DNSIsResponse() {
+		a.ctr.Inc(DNSBlockNonDNS, len(ctx.Data))
+		return ppe.VerdictPass
+	}
+	name, ok := v.DNSQName(a.qbuf[:0])
+	if !ok {
+		a.ctr.Inc(DNSBlockNonDNS, len(ctx.Data))
+		return ppe.VerdictPass
+	}
+	// Walk the name and every parent suffix through the hash table, the
+	// way the pipeline's hash stage would over per-label boundaries.
+	for {
+		var key [8]byte
+		binary.BigEndian.PutUint64(key[:], packet.FNV64(name))
+		if _, blocked := a.names.Lookup(key[:]); blocked {
+			a.ctr.Inc(DNSBlockDropped, len(ctx.Data))
+			return ppe.VerdictDrop
+		}
+		dot := -1
+		for i, c := range name {
+			if c == '.' {
+				dot = i
+				break
+			}
+		}
+		if dot < 0 {
+			break
+		}
+		name = name[dot+1:]
+	}
+	a.ctr.Inc(DNSBlockPassed, len(ctx.Data))
+	return ppe.VerdictPass
+}

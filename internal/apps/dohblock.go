@@ -38,10 +38,10 @@ const (
 type dohApp struct {
 	prog      *ppe.Program
 	state     *ppe.State
-	names     *ppe.Table // fnv64(qname suffix)(64b) → action(8b)
+	names     *ppe.Table // packet.FNV64(qname suffix)(64b) → action(8b)
 	resolvers *ppe.Table // IPv4(32b) → action(8b)
 	ctr       *ppe.CounterBank
-	v         view
+	v         packet.View
 }
 
 // NewDoHBlock builds a DNS/DoH filtering instance.
@@ -102,7 +102,7 @@ func (a *dohApp) BlockDomain(domain string) error {
 		return fmt.Errorf("dohblock: empty domain")
 	}
 	var key [8]byte
-	binary.BigEndian.PutUint64(key[:], fnv64([]byte(domain)))
+	binary.BigEndian.PutUint64(key[:], packet.FNV64([]byte(domain)))
 	return a.names.Add(key[:], []byte{1})
 }
 
@@ -117,15 +117,15 @@ func (a *dohApp) BlockResolver(ip string) error {
 }
 
 func (a *dohApp) handle(ctx *ppe.Ctx) ppe.Verdict {
-	if !a.v.parse(ctx.Data) || !a.v.isIPv4 {
+	if !a.v.Parse(ctx.Data) || !a.v.IsIPv4 {
 		return ppe.VerdictPass
 	}
 	v := &a.v
 
 	// DoH path: HTTPS to a known resolver.
-	if v.dstPort == packet.PortHTTPS &&
-		(v.proto == packet.IPProtocolTCP || v.proto == packet.IPProtocolUDP) {
-		if _, blocked := a.resolvers.Lookup(v.dstIPv4()); blocked {
+	if v.DstPort == packet.PortHTTPS &&
+		(v.Proto == packet.IPProtocolTCP || v.Proto == packet.IPProtocolUDP) {
+		if _, blocked := a.resolvers.Lookup(v.DstIPv4()); blocked {
 			a.ctr.Inc(DoHHTTPSBlocked, len(ctx.Data))
 			return ppe.VerdictDrop
 		}
@@ -133,9 +133,9 @@ func (a *dohApp) handle(ctx *ppe.Ctx) ppe.Verdict {
 
 	// Plain-DNS path: inspect queries on UDP 53 (only when the full UDP
 	// header is present).
-	if v.proto == packet.IPProtocolUDP && v.dstPort == packet.PortDNS &&
-		v.l4Off != 0 && len(ctx.Data) >= v.l4Off+8 {
-		if a.dnsBlocked(ctx.Data[v.l4Off+8:]) {
+	if v.Proto == packet.IPProtocolUDP && v.DstPort == packet.PortDNS &&
+		v.L4Off != 0 && len(ctx.Data) >= v.L4Off+8 {
+		if a.dnsBlocked(ctx.Data[v.L4Off+8:]) {
 			a.ctr.Inc(DoHDNSBlocked, len(ctx.Data))
 			return ppe.VerdictDrop
 		}
@@ -156,7 +156,7 @@ func (a *dohApp) dnsBlocked(payload []byte) bool {
 		name := strings.ToLower(q.Name)
 		for {
 			var key [8]byte
-			binary.BigEndian.PutUint64(key[:], fnv64([]byte(name)))
+			binary.BigEndian.PutUint64(key[:], packet.FNV64([]byte(name)))
 			if _, blocked := a.names.Lookup(key[:]); blocked {
 				return true
 			}

@@ -42,7 +42,7 @@ type lbApp struct {
 	ctr       *ppe.CounterBank
 	vip       [4]byte
 	haveVIP   bool
-	v         view
+	v         packet.View
 }
 
 // NewLB builds a load-balancer instance.
@@ -121,12 +121,12 @@ func (a *lbApp) handle(ctx *ppe.Ctx) ppe.Verdict {
 	if ctx.Dir != ppe.DirEdgeToOptical || !a.haveVIP {
 		return ppe.VerdictPass
 	}
-	if !a.v.parse(ctx.Data) || !a.v.isIPv4 || a.v.l4Off == 0 {
+	if !a.v.Parse(ctx.Data) || !a.v.IsIPv4 || a.v.L4Off == 0 {
 		a.ctr.Inc(LBPassed, len(ctx.Data))
 		return ppe.VerdictPass
 	}
 	v := &a.v
-	if [4]byte(v.dstIPv4()) != a.vip {
+	if [4]byte(v.DstIPv4()) != a.vip {
 		a.ctr.Inc(LBPassed, len(ctx.Data))
 		return ppe.VerdictPass
 	}
@@ -145,22 +145,22 @@ func (a *lbApp) handle(ctx *ppe.Ctx) ppe.Verdict {
 	}
 	// Rewrite dst MAC and dst IP toward the chosen backend.
 	copy(ctx.Data[0:6], val[:6])
-	v.rewriteIPv4Addr(v.l3Off+16, val[6:10])
+	v.RewriteIPv4Addr(v.L3Off+16, val[6:10])
 	a.ctr.Inc(LBSteered, len(ctx.Data))
 	return ppe.VerdictPass
 }
 
 // symmetricFlowHash mirrors packet.Flow.FastHash over the raw view.
-func symmetricFlowHash(v *view) uint64 {
+func symmetricFlowHash(v *packet.View) uint64 {
 	var sb, db [6]byte
-	copy(sb[:4], v.srcIPv4())
-	binary.BigEndian.PutUint16(sb[4:], v.srcPort)
-	copy(db[:4], v.dstIPv4())
-	binary.BigEndian.PutUint16(db[4:], v.dstPort)
-	hs, hd := fnv64(sb[:]), fnv64(db[:])
+	copy(sb[:4], v.SrcIPv4())
+	binary.BigEndian.PutUint16(sb[4:], v.SrcPort)
+	copy(db[:4], v.DstIPv4())
+	binary.BigEndian.PutUint16(db[4:], v.DstPort)
+	hs, hd := packet.FNV64(sb[:]), packet.FNV64(db[:])
 	h := hs + hd
 	h ^= hs * hd
-	h = (h ^ uint64(v.proto)) * 1099511628211
+	h = (h ^ uint64(v.Proto)) * 1099511628211
 	h ^= h >> 33
 	h *= 0xff51afd7ed558ccd
 	h ^= h >> 33

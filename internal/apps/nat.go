@@ -41,7 +41,7 @@ type natApp struct {
 	table *ppe.Table
 	stats *ppe.CounterBank
 	dir   string
-	v     view
+	v     packet.View
 }
 
 // NAT counter indexes (bank "stats").
@@ -121,17 +121,17 @@ func (a *natApp) handle(ctx *ppe.Ctx) ppe.Verdict {
 	if !dirEnabled(a.dir, ctx.Dir) {
 		return ppe.VerdictPass
 	}
-	if !a.v.parse(ctx.Data) || !a.v.isIPv4 {
+	if !a.v.Parse(ctx.Data) || !a.v.IsIPv4 {
 		a.stats.Inc(NATNonIPv4, len(ctx.Data))
 		return ppe.VerdictPass
 	}
 	v := &a.v
-	newIP, ok := a.table.Lookup(v.srcIPv4())
+	newIP, ok := a.table.Lookup(v.SrcIPv4())
 	if !ok {
 		a.stats.Inc(NATMissPassed, len(ctx.Data))
 		return ppe.VerdictPass
 	}
-	v.rewriteIPv4Addr(v.l3Off+12, newIP)
+	v.RewriteIPv4Addr(v.L3Off+12, newIP)
 	a.stats.Inc(NATTranslated, len(ctx.Data))
 	return ppe.VerdictPass
 }

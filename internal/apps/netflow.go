@@ -41,7 +41,7 @@ type netflowApp struct {
 	stats *ppe.CounterBank // per-flow packet/byte counters
 	next  *ppe.Register
 	dir   string
-	v     view
+	v     packet.View
 	key   [13]byte
 }
 
@@ -95,10 +95,10 @@ func (a *netflowApp) handle(ctx *ppe.Ctx) ppe.Verdict {
 	if !dirEnabled(a.dir, ctx.Dir) {
 		return ppe.VerdictPass
 	}
-	if !a.v.parse(ctx.Data) || (!a.v.isIPv4 && !a.v.isIPv6) {
+	if !a.v.Parse(ctx.Data) || (!a.v.IsIPv4 && !a.v.IsIPv6) {
 		return ppe.VerdictPass
 	}
-	key := a.v.fiveTupleKey(a.key[:])
+	key := a.v.FiveTupleKey(a.key[:])
 	val, ok := a.flows.Lookup(key)
 	if !ok {
 		idx := a.next.Load()

@@ -52,7 +52,7 @@ type ratelimitApp struct {
 	nextMeter  int
 	useDefault bool
 	dir        string
-	v          view
+	v          packet.View
 }
 
 // NewRateLimit builds a policing instance.
@@ -140,11 +140,11 @@ func (a *ratelimitApp) handle(ctx *ppe.Ctx) ppe.Verdict {
 	if !dirEnabled(a.dir, ctx.Dir) {
 		return ppe.VerdictPass
 	}
-	if !a.v.parse(ctx.Data) || !a.v.isIPv4 {
+	if !a.v.Parse(ctx.Data) || !a.v.IsIPv4 {
 		return ppe.VerdictPass
 	}
 	idx := -1
-	if val, ok := a.sources.Lookup(a.v.srcIPv4()); ok {
+	if val, ok := a.sources.Lookup(a.v.SrcIPv4()); ok {
 		idx = int(binary.BigEndian.Uint16(val))
 	} else if a.useDefault {
 		idx = defaultMeterIndex

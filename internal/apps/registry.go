@@ -18,5 +18,8 @@ func NewRegistry() *core.Registry {
 	r.Register("sanitize", func() core.App { return NewSanitize() })
 	r.Register("monitor", func() core.App { return NewMonitor() })
 	r.Register("xdp", func() core.App { return NewXDPApp() })
+	r.Register("arpguard", func() core.App { return NewARPGuard() })
+	r.Register("dhcpsnoop", func() core.App { return NewDHCPSnoop() })
+	r.Register("dnsblock", func() core.App { return NewDNSBlock() })
 	return r
 }

@@ -41,7 +41,7 @@ type sanitizeApp struct {
 	state *ppe.State
 	ctr   *ppe.CounterBank
 	cfg   SanitizeConfig
-	v     view
+	v     packet.View
 }
 
 // NewSanitize builds a sanitizer instance.
@@ -89,17 +89,17 @@ func (a *sanitizeApp) handle(ctx *ppe.Ctx) ppe.Verdict {
 		return ppe.VerdictPass
 	}
 	n := len(ctx.Data)
-	if !a.v.parse(ctx.Data) {
+	if !a.v.Parse(ctx.Data) {
 		return a.drop(SanMalformed, n)
 	}
 	v := &a.v
 
 	switch {
-	case v.isIPv4:
+	case v.IsIPv4:
 		d := ctx.Data
-		l3 := v.l3Off
+		l3 := v.L3Off
 		totalLen := int(binary.BigEndian.Uint16(d[l3+2 : l3+4]))
-		if totalLen < v.ipv4HeaderLen() || l3+totalLen > len(d) {
+		if totalLen < v.IPv4HeaderLen() || l3+totalLen > len(d) {
 			return a.drop(SanMalformed, n)
 		}
 		if a.cfg.VerifyChecksums && !packet.VerifyIPv4Checksum(d[l3:]) {
@@ -113,14 +113,14 @@ func (a *sanitizeApp) handle(ctx *ppe.Ctx) ppe.Verdict {
 			return a.drop(SanLowTTL, n)
 		}
 		// Land-attack style spoofing: src == dst.
-		if [4]byte(v.srcIPv4()) == [4]byte(v.dstIPv4()) {
+		if [4]byte(v.SrcIPv4()) == [4]byte(v.DstIPv4()) {
 			return a.drop(SanSpoofedSrc, n)
 		}
-	case v.isIPv6:
+	case v.IsIPv6:
 		if a.cfg.DropIPv6 {
 			return a.drop(SanIPv6Dropped, n)
 		}
-		if a.cfg.MinTTL > 0 && ctx.Data[v.l3Off+7] < a.cfg.MinTTL {
+		if a.cfg.MinTTL > 0 && ctx.Data[v.L3Off+7] < a.cfg.MinTTL {
 			return a.drop(SanLowTTL, n)
 		}
 	}

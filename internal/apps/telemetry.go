@@ -52,7 +52,7 @@ type telemetryApp struct {
 
 	mu    sync.Mutex
 	paths []PathRecord
-	v     view
+	v     packet.View
 }
 
 // telemetryMaxPaths bounds sink memory.
@@ -160,11 +160,11 @@ func (a *telemetryApp) handle(ctx *ppe.Ctx) ppe.Verdict {
 }
 
 func (a *telemetryApp) sampled(data []byte) bool {
-	if !a.v.parse(data) {
+	if !a.v.Parse(data) {
 		return false
 	}
-	key := a.v.fiveTupleKey(make([]byte, 0, 13))
-	h := fnv64(key)
+	key := a.v.FiveTupleKey(make([]byte, 0, 13))
+	h := packet.FNV64(key)
 	return h&((1<<a.cfg.SampleShift)-1) == 0
 }
 

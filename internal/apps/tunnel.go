@@ -57,7 +57,7 @@ type tunnelApp struct {
 	ttl             uint8
 	mtu             int
 	buf             *packet.SerializeBuffer
-	v               view
+	v               packet.View
 }
 
 // NewTunnel builds a tunnel endpoint instance.
@@ -181,7 +181,7 @@ func (a *tunnelApp) encap(data []byte) ([]byte, error) {
 	case TunnelVXLAN:
 		outerIP.Protocol = packet.IPProtocolUDP
 		// Source-port entropy from the inner frame keeps ECMP balanced.
-		sport := uint16(49152 + fnv64(data[:min(34, len(data))])%16384)
+		sport := uint16(49152 + packet.FNV64(data[:min(34, len(data))])%16384)
 		udp := &packet.UDP{SrcPort: sport, DstPort: packet.PortVXLAN}
 		if err := udp.SetNetworkLayerForChecksum(a.local, a.remote); err != nil {
 			return nil, err
@@ -191,12 +191,12 @@ func (a *tunnelApp) encap(data []byte) ([]byte, error) {
 		layers = []packet.SerializableLayer{outerEth, outerIP, udp, vx, &inner}
 	case TunnelIPIP:
 		// IP-in-IP carries the inner IP packet only.
-		var v view
-		if !v.parse(data) || !v.isIPv4 {
+		var v packet.View
+		if !v.Parse(data) || !v.IsIPv4 {
 			return nil, fmt.Errorf("ipip: inner frame is not IPv4")
 		}
 		outerIP.Protocol = packet.IPProtocolIPv4
-		inner := packet.Payload(data[v.l3Off:])
+		inner := packet.Payload(data[v.L3Off:])
 		layers = []packet.SerializableLayer{outerEth, outerIP, &inner}
 	}
 
@@ -212,24 +212,24 @@ func (a *tunnelApp) encap(data []byte) ([]byte, error) {
 // decap strips the tunnel header when the outer packet is addressed to
 // this endpoint and matches the configured mode.
 func (a *tunnelApp) decap(data []byte) ([]byte, bool) {
-	if !a.v.parse(data) || !a.v.isIPv4 {
+	if !a.v.Parse(data) || !a.v.IsIPv4 {
 		return nil, false
 	}
 	v := &a.v
-	l4 := v.l3Off + v.ipv4HeaderLen()
+	l4 := v.L3Off + v.IPv4HeaderLen()
 	local4 := a.local.As4()
-	if [4]byte(v.dstIPv4()) != local4 {
+	if [4]byte(v.DstIPv4()) != local4 {
 		return nil, false
 	}
 	switch {
-	case a.mode == TunnelGRE && v.proto == packet.IPProtocolGRE:
+	case a.mode == TunnelGRE && v.Proto == packet.IPProtocolGRE:
 		var gre packet.GRE
 		if gre.DecodeFromBytes(data[l4:]) != nil ||
 			gre.Protocol != packet.EtherTypeTransparentEthernet {
 			return nil, false
 		}
 		return append([]byte(nil), gre.LayerPayload()...), true
-	case a.mode == TunnelVXLAN && v.proto == packet.IPProtocolUDP && v.dstPort == packet.PortVXLAN:
+	case a.mode == TunnelVXLAN && v.Proto == packet.IPProtocolUDP && v.DstPort == packet.PortVXLAN:
 		if len(data) < l4+16 {
 			return nil, false
 		}
@@ -238,7 +238,7 @@ func (a *tunnelApp) decap(data []byte) ([]byte, bool) {
 			return nil, false
 		}
 		return append([]byte(nil), vx.LayerPayload()...), true
-	case a.mode == TunnelIPIP && v.proto == packet.IPProtocolIPv4:
+	case a.mode == TunnelIPIP && v.Proto == packet.IPProtocolIPv4:
 		// Re-wrap the inner IP packet in an Ethernet frame toward the
 		// edge host.
 		innerEth := &packet.Ethernet{SrcMAC: a.localMAC, DstMAC: a.gwMAC, EtherType: packet.EtherTypeIPv4}

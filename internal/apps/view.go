@@ -2,213 +2,28 @@
 // PPE programming model: the §5.1 NAT case study, per-port firewalling,
 // VLAN/QinQ tagging, GRE/VXLAN/IP-in-IP tunneling, Katran-style L4 load
 // balancing, INT-style in-band telemetry, NetFlow-like flow accounting,
-// per-source rate limiting, DNS/DoH filtering, and packet sanitization.
+// per-source rate limiting, DNS/DoH filtering, packet sanitization, and
+// the edge-protocol trio (ARP-spoof guard, DHCP snooping, DNS blocking).
 //
 // Each application is a core.App: a declarative ppe.Program (from which
 // the HLS estimator prices the design) plus a behavioral handler that
 // mutates raw frames in place, the way the synthesized pipeline would.
+//
+// All header access goes through the shared packet.View — the software
+// model of the hardware parser stage — so every app reads the same
+// offsets the traffic generator and the XDP datapath do. The private
+// per-app parser this package used to carry is gone.
 package apps
 
 import (
-	"encoding/binary"
-
 	"flexsfp/internal/core"
 	"flexsfp/internal/packet"
 	"flexsfp/internal/ppe"
 )
 
-// view holds the header offsets of a frame, computed by a single linear
-// scan — the software analogue of the hardware parser.
-type view struct {
-	data []byte
-
-	l3Off   int // start of IPv4/IPv6 header (after VLAN tags)
-	vlanEnd int // byte after the last VLAN tag (== l3Off when tagged)
-	nVLAN   int
-
-	isIPv4 bool
-	isIPv6 bool
-	proto  packet.IPProtocol
-	l4Off  int // start of TCP/UDP/ICMP header; 0 if absent/fragment
-
-	srcPort, dstPort uint16 // 0 for port-less protocols
-}
-
-// parse fills the view. It returns false for frames too short to carry
-// Ethernet.
-func (v *view) parse(data []byte) bool {
-	*v = view{data: data}
-	if len(data) < 14 {
-		return false
-	}
-	et := packet.EtherType(binary.BigEndian.Uint16(data[12:14]))
-	off := 14
-	for (et == packet.EtherTypeDot1Q || et == packet.EtherTypeQinQ) && v.nVLAN < 4 {
-		if len(data) < off+4 {
-			return false
-		}
-		et = packet.EtherType(binary.BigEndian.Uint16(data[off+2 : off+4]))
-		off += 4
-		v.nVLAN++
-	}
-	v.vlanEnd = off
-	v.l3Off = off
-	switch et {
-	case packet.EtherTypeIPv4:
-		return v.parseIPv4(off)
-	case packet.EtherTypeIPv6:
-		return v.parseIPv6(off)
-	default:
-		return true // L2-only frame: valid, no L3 view
-	}
-}
-
-func (v *view) parseIPv4(off int) bool {
-	d := v.data
-	if len(d) < off+20 || d[off]>>4 != 4 {
-		return false
-	}
-	ihl := int(d[off]&0x0f) * 4
-	if ihl < 20 || len(d) < off+ihl {
-		return false
-	}
-	v.isIPv4 = true
-	v.proto = packet.IPProtocol(d[off+9])
-	fragOff := binary.BigEndian.Uint16(d[off+6:off+8]) & 0x1fff
-	if fragOff == 0 {
-		v.l4Off = off + ihl
-		v.parsePorts()
-	}
-	return true
-}
-
-func (v *view) parseIPv6(off int) bool {
-	d := v.data
-	if len(d) < off+40 || d[off]>>4 != 6 {
-		return false
-	}
-	v.isIPv6 = true
-	v.proto = packet.IPProtocol(d[off+6])
-	v.l4Off = off + 40
-	v.parsePorts()
-	return true
-}
-
-func (v *view) parsePorts() {
-	d := v.data
-	switch v.proto {
-	case packet.IPProtocolTCP, packet.IPProtocolUDP:
-		if len(d) >= v.l4Off+4 {
-			v.srcPort = binary.BigEndian.Uint16(d[v.l4Off:])
-			v.dstPort = binary.BigEndian.Uint16(d[v.l4Off+2:])
-		} else {
-			v.l4Off = 0
-		}
-	}
-}
-
-// srcIPv4 / dstIPv4 return address slices (valid only when isIPv4).
-func (v *view) srcIPv4() []byte { return v.data[v.l3Off+12 : v.l3Off+16] }
-func (v *view) dstIPv4() []byte { return v.data[v.l3Off+16 : v.l3Off+20] }
-
-// ipv4HeaderLen returns the IPv4 header length in bytes.
-func (v *view) ipv4HeaderLen() int { return int(v.data[v.l3Off]&0x0f) * 4 }
-
-// Incremental checksum update per RFC 1624: HC' = ~(~HC + ~m + m').
-
-// csumUpdate16 folds the replacement of old16 by new16 into the checksum
-// stored at data[at:at+2] (stored as the complement, per the Internet
-// checksum convention). A stored checksum of 0 (UDP "no checksum") is
-// left alone.
-func csumUpdate16(data []byte, at int, old16, new16 uint16) {
-	stored := binary.BigEndian.Uint16(data[at:])
-	if stored == 0 {
-		return
-	}
-	sum := uint32(^stored) + uint32(^old16) + uint32(new16)
-	for sum > 0xffff {
-		sum = (sum >> 16) + (sum & 0xffff)
-	}
-	binary.BigEndian.PutUint16(data[at:], ^uint16(sum))
-}
-
-// csumUpdate32 folds a 4-byte field replacement into a checksum.
-func csumUpdate32(data []byte, at int, old4, new4 []byte) {
-	csumUpdate16(data, at, binary.BigEndian.Uint16(old4[0:2]), binary.BigEndian.Uint16(new4[0:2]))
-	csumUpdate16(data, at, binary.BigEndian.Uint16(old4[2:4]), binary.BigEndian.Uint16(new4[2:4]))
-}
-
-// l4ChecksumOffset returns the absolute offset of the L4 checksum field,
-// or -1 when the protocol has none we patch.
-func (v *view) l4ChecksumOffset() int {
-	if v.l4Off == 0 {
-		return -1
-	}
-	switch v.proto {
-	case packet.IPProtocolTCP:
-		if len(v.data) >= v.l4Off+18 {
-			return v.l4Off + 16
-		}
-	case packet.IPProtocolUDP:
-		if len(v.data) >= v.l4Off+8 {
-			return v.l4Off + 6
-		}
-	}
-	return -1
-}
-
-// rewriteIPv4Addr replaces the 4-byte address at addrOff, fixing the IPv4
-// header checksum and the L4 pseudo-header checksum.
-func (v *view) rewriteIPv4Addr(addrOff int, newAddr []byte) {
-	var old [4]byte // stack copy: this runs once per translated packet
-	copy(old[:], v.data[addrOff:addrOff+4])
-	copy(v.data[addrOff:addrOff+4], newAddr)
-	csumUpdate32(v.data, v.l3Off+10, old[:], newAddr)
-	if at := v.l4ChecksumOffset(); at >= 0 {
-		csumUpdate32(v.data, at, old[:], newAddr)
-	}
-}
-
-// fnv64 hashes b with FNV-1a (the software stand-in for the PPE's hash
-// unit).
-func fnv64(b []byte) uint64 {
-	h := uint64(14695981039346656037)
-	for _, c := range b {
-		h = (h ^ uint64(c)) * 1099511628211
-	}
-	return h
-}
-
-// fiveTupleKey packs the 104-bit (13-byte) 5-tuple match key used by the
-// ACL, LB and flow-accounting tables: srcIP(4) dstIP(4) sport(2) dport(2)
-// proto(1). IPv6 flows fold their addresses to 32 bits by hashing, which
-// is what a key-width-limited pipeline does.
-func (v *view) fiveTupleKey(buf []byte) []byte {
-	// Direct stores at fixed offsets — the key register a real pipeline
-	// latches field by field, with no intermediate slices.
-	key := buf[:13]
-	switch {
-	case v.isIPv4:
-		copy(key[0:4], v.srcIPv4())
-		copy(key[4:8], v.dstIPv4())
-	case v.isIPv6:
-		s := fnv64(v.data[v.l3Off+8 : v.l3Off+24])
-		d := fnv64(v.data[v.l3Off+24 : v.l3Off+40])
-		binary.BigEndian.PutUint32(key[0:4], uint32(s))
-		binary.BigEndian.PutUint32(key[4:8], uint32(d))
-	default:
-		for i := 0; i < 8; i++ {
-			key[i] = 0
-		}
-	}
-	binary.BigEndian.PutUint16(key[8:10], v.srcPort)
-	binary.BigEndian.PutUint16(key[10:12], v.dstPort)
-	key[12] = byte(v.proto)
-	return key
-}
-
-// FiveTupleKeyBits is the ACL/LB/flow key width.
-const FiveTupleKeyBits = 104
+// FiveTupleKeyBits is the ACL/LB/flow key width (re-exported from the
+// shared parser for existing table-spec call sites).
+const FiveTupleKeyBits = packet.FiveTupleKeyBits
 
 // dirEnabled reports whether a packet traveling d should be processed
 // under an app's configured direction filter ("both" by default).

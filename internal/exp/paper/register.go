@@ -36,6 +36,8 @@ func init() {
 			Doc: "pipeline optimizer: pass pipeline over the app catalog + measured XDP line-rate delta"},
 		exp.Def{ID: "dse", RunFn: runDSE,
 			Doc: "cost-aware DSE: clock × width × table sizing × device Pareto fronts per app"},
+		exp.Def{ID: "catalog", RunFn: runCatalog,
+			Doc: "§3 app catalog: per-app MPF200T fit + line rate on protocol-matched profiles"},
 		exp.Def{ID: "faults", RunFn: runFaults, Hidden: true,
 			Doc: "§4.2 chaos sweep: canary rollout under transport/flash/wedge faults"},
 		exp.Def{ID: "fleet_ota", RunFn: runFleetOTA, Hidden: true,

@@ -133,3 +133,87 @@ func MustBuild(s Spec) []byte {
 	}
 	return b
 }
+
+// ARPSpec describes an ARP frame for the builder (the IP-based Spec
+// cannot express ARP, which has no L3 header).
+type ARPSpec struct {
+	SrcMAC MAC
+	// DstMAC defaults to broadcast for requests and SenderMAC-directed
+	// unicast is the caller's choice for replies.
+	DstMAC    MAC
+	VLANs     []uint16
+	Operation uint16 // ARPRequest / ARPReply; default ARPRequest
+	SenderMAC MAC
+	SenderIP  netip.Addr
+	TargetMAC MAC
+	TargetIP  netip.Addr
+	// PadTo pads the frame with zero bytes to this total length.
+	PadTo int
+}
+
+// BuildARP serializes an IPv4-over-Ethernet ARP frame.
+func BuildARP(s ARPSpec) ([]byte, error) {
+	if s.Operation == 0 {
+		s.Operation = ARPRequest
+	}
+	if s.DstMAC == (MAC{}) {
+		s.DstMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	}
+	if s.SenderMAC == (MAC{}) {
+		s.SenderMAC = s.SrcMAC
+	}
+
+	var layers []SerializableLayer
+	eth := &Ethernet{SrcMAC: s.SrcMAC, DstMAC: s.DstMAC}
+	layers = append(layers, eth)
+	prevType := &eth.EtherType
+	for i, vid := range s.VLANs {
+		if i == 0 && len(s.VLANs) > 1 {
+			*prevType = EtherTypeQinQ
+		} else {
+			*prevType = EtherTypeDot1Q
+		}
+		tag := &Dot1Q{VLAN: vid}
+		layers = append(layers, tag)
+		prevType = &tag.EtherType
+	}
+	*prevType = EtherTypeARP
+	layers = append(layers, &ARP{
+		Operation: s.Operation,
+		SenderMAC: s.SenderMAC, SenderIP: s.SenderIP,
+		TargetMAC: s.TargetMAC, TargetIP: s.TargetIP,
+	})
+	if pad := s.PadTo - (14 + 4*len(s.VLANs) + 28); pad > 0 {
+		pl := Payload(make([]byte, pad))
+		layers = append(layers, &pl)
+	}
+
+	buf := NewSerializeBuffer()
+	if err := SerializeLayers(buf, SerializeOptions{}, layers...); err != nil {
+		return nil, err
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}
+
+// MustBuildARP is BuildARP that panics on error; for tests.
+func MustBuildARP(s ARPSpec) []byte {
+	b, err := BuildARP(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Marshal renders the DHCP message standalone (UDP payload bytes), for
+// feeding through Build as the payload of a port-67/68 frame.
+func (d *DHCPv4) Marshal() ([]byte, error) {
+	buf := NewSerializeBuffer()
+	if err := d.SerializeTo(buf, SerializeOptions{}); err != nil {
+		return nil, err
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package packet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net/netip"
+	"testing"
+)
+
+// FuzzViewVsDecode is the differential target pinning the shared parser
+// to the full layered decoder: wherever Decode accepts a layer, the
+// single-pass View must agree on offsets, protocol, addresses and ports.
+// The View is deliberately laxer (it ignores IP total-length fields), so
+// the comparison is one-directional — decoder success implies View
+// agreement — with the exact ARP equivalence checked both ways.
+func FuzzViewVsDecode(f *testing.F) {
+	for _, frame := range fuzzSeedFrames() {
+		f.Add(frame)
+	}
+	f.Add(MustBuildARP(ARPSpec{SrcMAC: macA, SenderIP: ip1, TargetIP: ip2, PadTo: 64}))
+	f.Add(MustBuildARP(ARPSpec{
+		SrcMAC: macA, DstMAC: macB, Operation: ARPReply,
+		SenderIP: ip2, TargetMAC: macB, TargetIP: ip1,
+	}))
+	f.Add(buildIPv6Ext([]IPProtocol{IPProtocolIPv6HopByHop, IPProtocolIPv6DestOpts},
+		IPProtocolTCP, MustBuild(Spec{SrcMAC: macA, DstMAC: macB, SrcIP: ip1, DstIP: ip2,
+			Proto: IPProtocolTCP, SrcPort: 1, DstPort: 2})[34:]))
+	if dhcp, err := (&DHCPv4{Op: DHCPOpRequest, XID: 7, ClientMAC: macA,
+		Options: []DHCPOption{{Code: DHCPOptMsgType, Data: []byte{byte(DHCPRequest)}}}}).Marshal(); err == nil {
+		f.Add(MustBuild(Spec{SrcMAC: macA, DstMAC: macB,
+			SrcIP: netip.MustParseAddr("0.0.0.0"), DstIP: netip.MustParseAddr("255.255.255.255"),
+			Proto: IPProtocolUDP, SrcPort: PortDHCPClient, DstPort: PortDHCPServer, Payload: dhcp}))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v View
+		parsed := v.Parse(data)
+
+		pkt := NewPacket(data, LayerTypeEthernet)
+		layers := pkt.Layers()
+		if len(layers) == 0 {
+			return // decoder rejected the Ethernet header outright
+		}
+		if !parsed {
+			// The View rejects a frame only for malformed/truncated L2/L3;
+			// when it does, the decoder must not have reached a valid L3
+			// either (it may still hold Ethernet/VLANs).
+			for _, l := range layers {
+				switch l.LayerType() {
+				case LayerTypeIPv4, LayerTypeIPv6:
+					t.Fatalf("View rejected a frame the decoder gave %v", l.LayerType())
+				}
+			}
+			return
+		}
+
+		// Walk the L2 prefix the way the View does. The View caps VLAN
+		// extraction at 4 tags (hardware parser window); deeper stacks are
+		// out of its contract.
+		i := 1 // layers[0] is Ethernet
+		vlans := 0
+		for i < len(layers) && layers[i].LayerType() == LayerTypeDot1Q {
+			vlans++
+			i++
+		}
+		if vlans > maxViewVLANs {
+			return
+		}
+		if vlans != v.NVLAN {
+			t.Fatalf("VLAN count: view %d, decoder %d", v.NVLAN, vlans)
+		}
+		if i >= len(layers) {
+			return
+		}
+
+		switch l3 := layers[i].(type) {
+		case *ARP:
+			if !v.IsARP {
+				t.Fatal("decoder decoded ARP, view did not")
+			}
+			if v.ARPOperation() != l3.Operation {
+				t.Fatalf("ARP operation: view %d, decoder %d", v.ARPOperation(), l3.Operation)
+			}
+			sd, td := l3.SenderIP.As4(), l3.TargetIP.As4()
+			if !bytes.Equal(v.ARPSenderIP(), sd[:]) || !bytes.Equal(v.ARPTargetIP(), td[:]) {
+				t.Fatal("ARP addresses disagree")
+			}
+			if !bytes.Equal(v.ARPSenderMAC(), l3.SenderMAC[:]) || !bytes.Equal(v.ARPTargetMAC(), l3.TargetMAC[:]) {
+				t.Fatal("ARP MACs disagree")
+			}
+		case *IPv4:
+			if !v.IsIPv4 {
+				t.Fatal("decoder decoded IPv4, view did not")
+			}
+			if v.Proto != l3.Protocol {
+				t.Fatalf("IPv4 protocol: view %v, decoder %v", v.Proto, l3.Protocol)
+			}
+			if v.IPv4HeaderLen() != l3.HeaderLength() {
+				t.Fatalf("IPv4 header length: view %d, decoder %d", v.IPv4HeaderLen(), l3.HeaderLength())
+			}
+			s4, d4 := l3.SrcIP.As4(), l3.DstIP.As4()
+			if !bytes.Equal(v.SrcIPv4(), s4[:]) || !bytes.Equal(v.DstIPv4(), d4[:]) {
+				t.Fatal("IPv4 addresses disagree (offset bug)")
+			}
+			if l3.FragOffset != 0 && v.L4Off != 0 {
+				t.Fatal("view parsed L4 inside a non-first fragment")
+			}
+			compareL4(t, &v, layers, i+1)
+		case *IPv6:
+			if !v.IsIPv6 {
+				t.Fatal("decoder decoded IPv6, view did not")
+			}
+			// The full decoder does not walk extension headers; only when
+			// the next header is a directly-decodable transport do the two
+			// parsers share a contract.
+			switch l3.NextHeader {
+			case IPProtocolTCP, IPProtocolUDP, IPProtocolICMPv4, IPProtocolGRE:
+				if v.Proto != l3.NextHeader {
+					t.Fatalf("IPv6 protocol: view %v, decoder %v", v.Proto, l3.NextHeader)
+				}
+				compareL4(t, &v, layers, i+1)
+			}
+		}
+	})
+}
+
+// compareL4 checks the transport view against a decoded TCP/UDP layer, if
+// one directly follows the network layer.
+func compareL4(t *testing.T, v *View, layers []Layer, i int) {
+	t.Helper()
+	if i >= len(layers) {
+		return
+	}
+	switch l4 := layers[i].(type) {
+	case *TCP:
+		if v.L4Off == 0 {
+			t.Fatal("decoder decoded TCP, view has no L4 offset")
+		}
+		if v.SrcPort != l4.SrcPort || v.DstPort != l4.DstPort {
+			t.Fatalf("TCP ports: view %d/%d, decoder %d/%d", v.SrcPort, v.DstPort, l4.SrcPort, l4.DstPort)
+		}
+		// The decoded header starts where the view says it does.
+		if got := binary.BigEndian.Uint16(v.Data[v.L4Off:]); got != l4.SrcPort {
+			t.Fatalf("L4 offset mismatch: byte at L4Off gives port %d", got)
+		}
+	case *UDP:
+		if v.L4Off == 0 {
+			t.Fatal("decoder decoded UDP, view has no L4 offset")
+		}
+		if v.SrcPort != l4.SrcPort || v.DstPort != l4.DstPort {
+			t.Fatalf("UDP ports: view %d/%d, decoder %d/%d", v.SrcPort, v.DstPort, l4.SrcPort, l4.DstPort)
+		}
+	}
+}

@@ -8,9 +8,11 @@ import (
 
 // Well-known ports the decoder special-cases.
 const (
-	PortDNS   = 53
-	PortVXLAN = 4789
-	PortHTTPS = 443
+	PortDNS        = 53
+	PortDHCPServer = 67
+	PortDHCPClient = 68
+	PortVXLAN      = 4789
+	PortHTTPS      = 443
 )
 
 // ipPair holds the addresses needed for an L4 pseudo-header checksum.
@@ -191,6 +193,9 @@ func (u *UDP) NextLayerType() LayerType {
 	switch {
 	case u.DstPort == PortDNS || u.SrcPort == PortDNS:
 		return LayerTypeDNS
+	case u.DstPort == PortDHCPServer || u.DstPort == PortDHCPClient ||
+		u.SrcPort == PortDHCPServer || u.SrcPort == PortDHCPClient:
+		return LayerTypeDHCPv4
 	case u.DstPort == PortVXLAN:
 		return LayerTypeVXLAN
 	default:

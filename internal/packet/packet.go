@@ -32,6 +32,7 @@ const (
 	LayerTypeVXLAN
 	LayerTypeDNS
 	LayerTypeINT
+	LayerTypeDHCPv4
 	LayerTypePayload
 	layerTypeMax
 )
@@ -51,6 +52,7 @@ var layerTypeNames = [...]string{
 	LayerTypeVXLAN:    "VXLAN",
 	LayerTypeDNS:      "DNS",
 	LayerTypeINT:      "INT",
+	LayerTypeDHCPv4:   "DHCPv4",
 	LayerTypePayload:  "Payload",
 }
 
@@ -91,6 +93,15 @@ const (
 	IPProtocolGRE    IPProtocol = 47
 	IPProtocolIPv4   IPProtocol = 4 // IP-in-IP encapsulation
 	IPProtocolIPv6   IPProtocol = 41
+
+	// IPv6 extension headers the View parser skips (plus ICMPv6, which it
+	// reports as the final protocol).
+	IPProtocolIPv6HopByHop IPProtocol = 0
+	IPProtocolIPv6Routing  IPProtocol = 43
+	IPProtocolIPv6Fragment IPProtocol = 44
+	IPProtocolICMPv6       IPProtocol = 58
+	IPProtocolIPv6NoNext   IPProtocol = 59
+	IPProtocolIPv6DestOpts IPProtocol = 60
 )
 
 // Decoding errors.
@@ -240,6 +251,8 @@ func newLayer(t LayerType) Layer {
 		return &DNS{}
 	case LayerTypeINT:
 		return &INT{}
+	case LayerTypeDHCPv4:
+		return &DHCPv4{}
 	default:
 		return nil
 	}

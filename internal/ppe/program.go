@@ -280,6 +280,11 @@ func HeaderBytes(lt packet.LayerType) int {
 		return 4
 	case packet.LayerTypeDNS:
 		return 12
+	case packet.LayerTypeDHCPv4:
+		// The parser extracts the fixed BOOTP fields through chaddr
+		// (op..flags 12, four addresses 16, chaddr 16); sname/file stream
+		// past unparsed.
+		return 44
 	case packet.LayerTypeINT:
 		return 4
 	default:

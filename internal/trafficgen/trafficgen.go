@@ -87,6 +87,18 @@ type Config struct {
 	// placement-invariance rule that keeps results byte-identical at any
 	// shard count.
 	Rand *rand.Rand
+
+	// Templates, when set, bypasses the synthetic flow/size machinery:
+	// emission draws from these pre-built frames by weight. This is how
+	// the protocol-diverse profiles (ARP storms, DHCP churn, DNS-heavy
+	// edge, elephant/mice) feed the generator — see NewProfile.
+	Templates []WeightedFrame
+}
+
+// WeightedFrame is one pre-built template in a mixed-protocol profile.
+type WeightedFrame struct {
+	Frame  []byte
+	Weight int
 }
 
 // Generator emits frames into a sink on a simulated schedule.
@@ -99,6 +111,8 @@ type Generator struct {
 	frames    [][]byte // pre-built, one per (flow, size) combination
 	sizeEdges []int    // cumulative weights
 	sizeTotal int
+	tmplEdges []int // cumulative template weights (template mode)
+	tmplTotal int
 	zipf      *rand.Zipf
 
 	Sent    uint64
@@ -142,6 +156,17 @@ func New(sim *netsim.Simulator, cfg Config, sink func([]byte) bool) *Generator {
 	if g.rng == nil {
 		g.rng = sim.Rand()
 	}
+	if len(cfg.Templates) > 0 {
+		for _, wf := range cfg.Templates {
+			if wf.Weight <= 0 || len(wf.Frame) == 0 {
+				panic("trafficgen: template frames need content and positive weight")
+			}
+			g.frames = append(g.frames, wf.Frame)
+			g.tmplTotal += wf.Weight
+			g.tmplEdges = append(g.tmplEdges, g.tmplTotal)
+		}
+		return g
+	}
 	for _, e := range cfg.Sizes {
 		g.sizeTotal += e.Weight
 		g.sizeEdges = append(g.sizeEdges, g.sizeTotal)
@@ -179,6 +204,14 @@ func (g *Generator) prebuild() {
 }
 
 func (g *Generator) pickFrame() []byte {
+	if g.tmplTotal > 0 {
+		w := g.rng.Intn(g.tmplTotal)
+		for i, edge := range g.tmplEdges {
+			if w < edge {
+				return g.frames[i]
+			}
+		}
+	}
 	flow := 0
 	if g.cfg.Flows > 1 {
 		if g.zipf != nil {
@@ -295,8 +328,17 @@ func (g *Generator) SetTracer(tr *telemetry.Tracer) { g.tracer = tr }
 // Stop halts emission after the current event.
 func (g *Generator) Stop() { g.stopped = true }
 
-// MeanFrameSize returns the weighted mean of the size mix.
+// MeanFrameSize returns the weighted mean of the size mix (or of the
+// template set in template mode).
 func (g *Generator) MeanFrameSize() float64 {
+	if len(g.cfg.Templates) > 0 {
+		total, weight := 0, 0
+		for _, wf := range g.cfg.Templates {
+			total += len(wf.Frame) * wf.Weight
+			weight += wf.Weight
+		}
+		return float64(total) / float64(weight)
+	}
 	total, weight := 0, 0
 	for _, e := range g.cfg.Sizes {
 		total += e.Size * e.Weight
