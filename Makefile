@@ -5,13 +5,13 @@ GO ?= go
 # transports, the lock-free datapath tables, the telemetry record paths):
 # the race pass focuses here so `make check` stays fast; `make race-all`
 # still sweeps everything.
-RACE_PKGS = ./internal/mgmt ./internal/netsim ./internal/runner ./internal/exp/... ./internal/faults ./internal/ppe ./internal/reliability ./internal/telemetry ./internal/daemon ./internal/opt/... ./internal/xdp ./internal/trafficgen ./internal/packet ./internal/apps
+RACE_PKGS = ./internal/mgmt ./internal/netsim ./internal/runner ./internal/exp/... ./internal/faults ./internal/ppe ./internal/reliability ./internal/telemetry ./internal/daemon ./internal/opt/... ./internal/xdp ./internal/trafficgen ./internal/packet ./internal/apps ./internal/overlay
 
 # Packages holding the per-frame hot paths; bench-json and the smoke run
 # cover exactly these plus the root end-to-end suites.
 HOT_PKGS = ./internal/ppe ./internal/netsim ./internal/trafficgen .
 
-.PHONY: all build test race race-all bench bench-json bench-list smoke shard-smoke fuzz-smoke telemetry-smoke fleet-smoke opt-smoke catalog-smoke vet fmt check examples reports clean
+.PHONY: all build test race race-all bench bench-json bench-list smoke shard-smoke fuzz-smoke telemetry-smoke fleet-smoke opt-smoke catalog-smoke overlay-smoke vet fmt check examples reports clean
 
 all: build test
 
@@ -21,7 +21,7 @@ all: build test
 # the shard-determinism smoke, a short pass over every native fuzz
 # target, and a race-mode run of the default experiment suite with
 # telemetry attached.
-check: build test race vet bench-list smoke shard-smoke fuzz-smoke telemetry-smoke fleet-smoke opt-smoke catalog-smoke
+check: build test race vet bench-list smoke shard-smoke fuzz-smoke telemetry-smoke fleet-smoke opt-smoke catalog-smoke overlay-smoke
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,7 @@ fuzz-smoke:
 	$(GO) test -fuzz 'FuzzXDPVerify' -fuzztime 10s ./internal/xdp > /dev/null
 	$(GO) test -fuzz 'FuzzXDPRun' -fuzztime 10s ./internal/xdp > /dev/null
 	$(GO) test -fuzz 'FuzzOptimizeEquivalence' -fuzztime 10s ./internal/opt > /dev/null
+	$(GO) test -fuzz 'FuzzOverlayDecap' -fuzztime 10s ./internal/apps > /dev/null
 
 # Race-mode run of the default experiment suite with instrumentation
 # attached: the parallel trial runner records into shared registries, so
@@ -108,6 +109,19 @@ catalog-smoke:
 	printf '%s\n' "$$out" | grep -A2 '"name": "fits_all"' | grep -q '"mean": 1' || { echo "catalog-smoke: an app does not fit the MPF200T" >&2; exit 1; }; \
 	printf '%s\n' "$$out" | grep -A2 '"name": "new_apps_line_rate"' | grep -q '"mean": 1' || { echo "catalog-smoke: a new app dropped frames on its matched profile" >&2; exit 1; }; \
 	echo "catalog-smoke: all apps fit, edge-protocol trio holds line rate"
+
+# Overlay-mesh gate: both overlay experiments must be shard-count
+# invariant (byte-identical JSON at -shards 1 and 4, only wall-clock
+# lines may differ), and the failover chaos run must deliver zero frames
+# to the withdrawn peer after convergence with every affected flow
+# re-converged.
+overlay-smoke:
+	@$(GO) run ./cmd/flexsfp-bench -run overlay_linerate,overlay_failover -json -shards 1 | grep -v '"wall_ms"' > /tmp/flexsfp-overlay1.json; \
+	$(GO) run ./cmd/flexsfp-bench -run overlay_linerate,overlay_failover -json -shards 4 | grep -v '"wall_ms"' > /tmp/flexsfp-overlay4.json; \
+	diff /tmp/flexsfp-overlay1.json /tmp/flexsfp-overlay4.json > /dev/null || { echo "overlay-smoke: -shards 1 and -shards 4 JSON differ" >&2; exit 1; }; \
+	grep -A1 '"name": "frames_to_withdrawn_post"' /tmp/flexsfp-overlay1.json | grep -q '"mean": 0' || { echo "overlay-smoke: frames delivered to the withdrawn peer" >&2; exit 1; }; \
+	grep -A1 '"name": "recovered_fraction"' /tmp/flexsfp-overlay1.json | grep -q '"mean": 1' || { echo "overlay-smoke: a flow failed to re-converge" >&2; exit 1; }; \
+	echo "overlay-smoke: shard-invariant, 0 frames to withdrawn peer, all flows re-converged"
 
 # Registry smoke check: the bench binary must enumerate a non-empty
 # experiment catalog with unique names (a broken registration init or a

@@ -22,7 +22,9 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"flexsfp"
 	"flexsfp/internal/daemon"
@@ -43,16 +45,38 @@ func main() {
 		traceEvery  = flag.Int("trace-every", 64, "sample 1-in-N frames for tracing")
 		metricsAddr = flag.String("metrics-addr", "", "HTTP address for the JSON metrics endpoint (empty = off)")
 		simShards   = flag.Int("sim-shards", 0, "run the world on N parallel simulation shards (module + traffic source; 0/1 = single heap)")
+
+		ovlListen = flag.String("overlay-listen", "", "host an overlay rendezvous on this TCP address (empty = off)")
+		ovlJoin   = flag.String("overlay-join", "", "overlay rendezvous address to register with (empty with -overlay-listen = join in-process)")
+		ovlIP     = flag.String("overlay-ip", "", "underlay tunnel IPv4 announced to the mesh (empty = not an endpoint; requires -app mesh)")
+		ovlMAC    = flag.String("overlay-mac", "", "underlay MAC (empty = derived from -device-id)")
+		ovlMode   = flag.String("overlay-mode", "gre", "mesh encapsulation peers use toward this cable (gre, vxlan)")
+		ovlVNI    = flag.Uint("overlay-vni", 0, "VXLAN network identifier for this endpoint")
+		ovlGREKey = flag.Uint("overlay-gre-key", 0, "GRE key for this endpoint")
+		ovlPfx    = flag.String("overlay-prefixes", "", "comma-separated announced IPv4 prefixes; \"@N\" suffix sets backup priority (e.g. 10.200.1.0/24,10.200.3.0/24@1)")
+		ovlSync   = flag.Duration("overlay-sync", time.Second, "re-reconcile against the rendezvous this often (0 = only at startup)")
 	)
 	flag.Parse()
+
+	var ovl *daemon.OverlayConfig
+	if *ovlListen != "" || *ovlJoin != "" || *ovlIP != "" {
+		ovl = &daemon.OverlayConfig{
+			Listen: *ovlListen, Join: *ovlJoin, IP: *ovlIP, MAC: *ovlMAC,
+			Mode: *ovlMode, VNI: uint32(*ovlVNI), GREKey: uint32(*ovlGREKey),
+			SyncEvery: *ovlSync,
+		}
+		if *ovlPfx != "" {
+			ovl.Prefixes = strings.Split(*ovlPfx, ",")
+		}
+	}
 
 	d, err := daemon.Start(daemon.Config{
 		Listen: *listen, Name: *name, DeviceID: uint32(*deviceID),
 		App: *appName, Shell: *shellName, ConfigJSON: *configJSON,
 		AuthKey: []byte(*authKey), TrafficPPS: *trafficPPS, Seed: *seed,
 		Telemetry: *tel, TraceEvery: *traceEvery, MetricsAddr: *metricsAddr,
-		SimShards: *simShards,
-		Logf:      func(format string, args ...any) { log.Printf("flexsfpd: "+format, args...) },
+		SimShards: *simShards, Overlay: ovl,
+		Logf: func(format string, args ...any) { log.Printf("flexsfpd: "+format, args...) },
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -67,6 +91,9 @@ func main() {
 	fmt.Printf("flexsfpd: management listening on %s\n", d.Addr())
 	if a := d.MetricsAddr(); a != "" {
 		fmt.Printf("flexsfpd: metrics on http://%s/metrics\n", a)
+	}
+	if a := d.RendezvousAddr(); a != "" {
+		fmt.Printf("flexsfpd: overlay rendezvous on %s\n", a)
 	}
 
 	sig := make(chan os.Signal, 1)

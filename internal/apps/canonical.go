@@ -60,6 +60,13 @@ func CanonicalConfig(name string) (any, error) {
 		return DHCPSnoopConfig{DropUntrustedRelease: true}, nil
 	case "dnsblock":
 		return DNSBlockConfig{Domains: []string{"ads.example"}}, nil
+	case "mesh":
+		return MeshConfig{
+			Mode:     TunnelVXLAN,
+			LocalIP:  "10.254.0.1",
+			LocalMAC: "02:cc:cc:cc:cc:01",
+			VNI:      4242,
+		}, nil
 	}
 	return nil, fmt.Errorf("apps: no canonical config for %q", name)
 }

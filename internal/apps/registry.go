@@ -21,5 +21,6 @@ func NewRegistry() *core.Registry {
 	r.Register("arpguard", func() core.App { return NewARPGuard() })
 	r.Register("dhcpsnoop", func() core.App { return NewDHCPSnoop() })
 	r.Register("dnsblock", func() core.App { return NewDNSBlock() })
+	r.Register("mesh", func() core.App { return NewMesh() })
 	return r
 }

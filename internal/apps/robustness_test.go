@@ -29,6 +29,8 @@ func configuredApps(t *testing.T) map[string]core.App {
 		"xdp": XDPConfig{Program: xdp.Program{Name: "pass-all", Insns: []xdp.Insn{
 			xdp.MovImm(0, xdp.ActPass), xdp.Exit(),
 		}}},
+		"mesh": MeshConfig{Mode: TunnelVXLAN, LocalIP: "10.254.0.1",
+			LocalMAC: "02:cc:cc:cc:cc:01", VNI: 4242},
 	}
 	out := map[string]core.App{}
 	for _, name := range r.Names() {

@@ -2,6 +2,7 @@ package apps
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/netip"
 
@@ -45,6 +46,24 @@ const (
 	tunnelCounters
 )
 
+// decapStatus classifies an optical-side frame.
+type decapStatus int
+
+const (
+	// decapPass: not this endpoint's tunnel traffic (wrong destination,
+	// non-IP, a foreign tenant's VNI, or a protocol the mode does not
+	// own) — forwarded untouched.
+	decapPass decapStatus = iota
+	// decapOK: a well-formed tunnel frame, inner payload recovered.
+	decapOK
+	// decapErr: addressed to this endpoint and claiming its tunnel mode,
+	// but malformed (truncated or corrupt outer headers) — dropped and
+	// counted in TunnelErrors, never silently forwarded.
+	decapErr
+)
+
+var errInnerNotIPv4 = errors.New("tunnel: ipip inner frame is not IPv4")
+
 type tunnelApp struct {
 	prog  *ppe.Program
 	state *ppe.State
@@ -52,12 +71,26 @@ type tunnelApp struct {
 
 	mode            string
 	local, remote   netip.Addr
+	local4          [4]byte
 	localMAC, gwMAC packet.MAC
 	vni, greKey     uint32
 	ttl             uint8
 	mtu             int
 	buf             *packet.SerializeBuffer
 	v               packet.View
+	ring            *frameRing
+
+	// Persistent serialization state: the layer structs and stacks are
+	// built once at Configure and reused per frame, so the hot path does
+	// not allocate (the property tests pin 0 allocs/op).
+	outerEth packet.Ethernet
+	outerIP  packet.IPv4
+	gre      packet.GRE
+	udp      packet.UDP
+	vx       packet.VXLAN
+	payload  packet.Payload
+	encStack []packet.SerializableLayer
+	ethStack []packet.SerializableLayer // IPIP decap re-wrap
 }
 
 // NewTunnel builds a tunnel endpoint instance.
@@ -118,6 +151,7 @@ func (a *tunnelApp) Configure(config []byte) error {
 		return fmt.Errorf("tunnel gateway MAC: %w", err)
 	}
 	a.mode, a.local, a.remote = cfg.Mode, local, remote
+	a.local4 = local.As4()
 	a.localMAC, a.gwMAC = lmac, gmac
 	a.vni, a.greKey = cfg.VNI, cfg.GREKey
 	a.ttl = cfg.TTL
@@ -127,6 +161,39 @@ func (a *tunnelApp) Configure(config []byte) error {
 	a.mtu = cfg.MTU
 	if a.mtu == 0 {
 		a.mtu = 1518
+	}
+	return a.buildStacks()
+}
+
+// buildStacks prepares the persistent outer-header layer structs and the
+// per-mode serialization stack.
+func (a *tunnelApp) buildStacks() error {
+	a.outerEth = packet.Ethernet{SrcMAC: a.localMAC, DstMAC: a.gwMAC, EtherType: packet.EtherTypeIPv4}
+	a.outerIP = packet.IPv4{TTL: a.ttl, SrcIP: a.local, DstIP: a.remote, DontFrag: true}
+	switch a.mode {
+	case TunnelGRE:
+		a.outerIP.Protocol = packet.IPProtocolGRE
+		a.gre = packet.GRE{Protocol: packet.EtherTypeTransparentEthernet}
+		if a.greKey != 0 {
+			a.gre.KeyPresent = true
+			a.gre.Key = a.greKey
+		}
+		a.encStack = []packet.SerializableLayer{&a.outerEth, &a.outerIP, &a.gre, &a.payload}
+	case TunnelVXLAN:
+		a.outerIP.Protocol = packet.IPProtocolUDP
+		a.udp = packet.UDP{DstPort: packet.PortVXLAN}
+		if err := a.udp.SetNetworkLayerForChecksum(a.local, a.remote); err != nil {
+			return err
+		}
+		a.vx = packet.VXLAN{VNI: a.vni}
+		a.encStack = []packet.SerializableLayer{&a.outerEth, &a.outerIP, &a.udp, &a.vx, &a.payload}
+	case TunnelIPIP:
+		a.outerIP.Protocol = packet.IPProtocolIPv4
+		a.encStack = []packet.SerializableLayer{&a.outerEth, &a.outerIP, &a.payload}
+	}
+	a.ethStack = []packet.SerializableLayer{&a.outerEth, &a.payload}
+	if a.ring == nil {
+		a.ring = newFrameRing()
 	}
 	return nil
 }
@@ -145,17 +212,23 @@ func (a *tunnelApp) handle(ctx *ppe.Ctx) ppe.Verdict {
 		if len(out) > a.mtu {
 			// The outer header would push the frame past the egress MTU;
 			// outer packets carry DF, so the hardware drops (an ICMP
-			// too-big would be the control plane's job).
-			a.ctr.Inc(TunnelTooBig, len(ctx.Data))
+			// too-big would be the control plane's job). The counter
+			// records the would-be encapped size — not the inner size —
+			// so MTU headroom is directly measurable from it.
+			a.ctr.Inc(TunnelTooBig, len(out))
 			return ppe.VerdictDrop
 		}
 		ctx.Data = out
 		a.ctr.Inc(TunnelEncapped, len(out))
 	case ppe.DirOpticalToEdge:
-		out, ok := a.decap(ctx.Data)
-		if !ok {
+		out, st := a.decap(ctx.Data)
+		switch st {
+		case decapPass:
 			a.ctr.Inc(TunnelPassed, len(ctx.Data))
 			return ppe.VerdictPass
+		case decapErr:
+			a.ctr.Inc(TunnelErrors, len(ctx.Data))
+			return ppe.VerdictDrop
 		}
 		ctx.Data = out
 		a.ctr.Inc(TunnelDecapped, len(out))
@@ -164,94 +237,80 @@ func (a *tunnelApp) handle(ctx *ppe.Ctx) ppe.Verdict {
 }
 
 func (a *tunnelApp) encap(data []byte) ([]byte, error) {
-	outerEth := &packet.Ethernet{SrcMAC: a.localMAC, DstMAC: a.gwMAC, EtherType: packet.EtherTypeIPv4}
-	outerIP := &packet.IPv4{TTL: a.ttl, SrcIP: a.local, DstIP: a.remote, DontFrag: true}
-	var layers []packet.SerializableLayer
-
 	switch a.mode {
 	case TunnelGRE:
-		outerIP.Protocol = packet.IPProtocolGRE
-		gre := &packet.GRE{Protocol: packet.EtherTypeTransparentEthernet}
-		if a.greKey != 0 {
-			gre.KeyPresent = true
-			gre.Key = a.greKey
-		}
-		inner := packet.Payload(data)
-		layers = []packet.SerializableLayer{outerEth, outerIP, gre, &inner}
+		a.payload = packet.Payload(data)
 	case TunnelVXLAN:
-		outerIP.Protocol = packet.IPProtocolUDP
 		// Source-port entropy from the inner frame keeps ECMP balanced.
-		sport := uint16(49152 + packet.FNV64(data[:min(34, len(data))])%16384)
-		udp := &packet.UDP{SrcPort: sport, DstPort: packet.PortVXLAN}
-		if err := udp.SetNetworkLayerForChecksum(a.local, a.remote); err != nil {
-			return nil, err
-		}
-		vx := &packet.VXLAN{VNI: a.vni}
-		inner := packet.Payload(data)
-		layers = []packet.SerializableLayer{outerEth, outerIP, udp, vx, &inner}
+		a.udp.SrcPort = uint16(49152 + packet.FNV64(data[:min(34, len(data))])%16384)
+		a.payload = packet.Payload(data)
 	case TunnelIPIP:
 		// IP-in-IP carries the inner IP packet only.
-		var v packet.View
-		if !v.Parse(data) || !v.IsIPv4 {
-			return nil, fmt.Errorf("ipip: inner frame is not IPv4")
+		if !a.v.Parse(data) || !a.v.IsIPv4 {
+			return nil, errInnerNotIPv4
 		}
-		outerIP.Protocol = packet.IPProtocolIPv4
-		inner := packet.Payload(data[v.L3Off:])
-		layers = []packet.SerializableLayer{outerEth, outerIP, &inner}
+		a.payload = packet.Payload(data[a.v.L3Off:])
 	}
-
 	opts := packet.SerializeOptions{FixLengths: true, ComputeChecksums: true}
-	if err := packet.SerializeLayers(a.buf, opts, layers...); err != nil {
+	if err := packet.SerializeLayers(a.buf, opts, a.encStack...); err != nil {
 		return nil, err
 	}
-	out := make([]byte, a.buf.Len())
+	out := a.ring.take(a.buf.Len())
 	copy(out, a.buf.Bytes())
 	return out, nil
 }
 
-// decap strips the tunnel header when the outer packet is addressed to
-// this endpoint and matches the configured mode.
-func (a *tunnelApp) decap(data []byte) ([]byte, bool) {
+// decap classifies an optical-side frame and strips the tunnel header
+// when it is well-formed tunnel traffic addressed to this endpoint.
+func (a *tunnelApp) decap(data []byte) ([]byte, decapStatus) {
 	if !a.v.Parse(data) || !a.v.IsIPv4 {
-		return nil, false
+		return nil, decapPass
 	}
 	v := &a.v
 	l4 := v.L3Off + v.IPv4HeaderLen()
-	local4 := a.local.As4()
-	if [4]byte(v.DstIPv4()) != local4 {
-		return nil, false
+	if [4]byte(v.DstIPv4()) != a.local4 {
+		return nil, decapPass
 	}
 	switch {
 	case a.mode == TunnelGRE && v.Proto == packet.IPProtocolGRE:
 		var gre packet.GRE
 		if gre.DecodeFromBytes(data[l4:]) != nil ||
 			gre.Protocol != packet.EtherTypeTransparentEthernet {
-			return nil, false
+			return nil, decapErr
 		}
-		return append([]byte(nil), gre.LayerPayload()...), true
+		inner := gre.LayerPayload()
+		out := a.ring.take(len(inner))
+		copy(out, inner)
+		return out, decapOK
 	case a.mode == TunnelVXLAN && v.Proto == packet.IPProtocolUDP && v.DstPort == packet.PortVXLAN:
 		if len(data) < l4+16 {
-			return nil, false
+			return nil, decapErr
 		}
 		var vx packet.VXLAN
-		if vx.DecodeFromBytes(data[l4+8:]) != nil || vx.VNI != a.vni {
-			return nil, false
+		if vx.DecodeFromBytes(data[l4+8:]) != nil {
+			return nil, decapErr
 		}
-		return append([]byte(nil), vx.LayerPayload()...), true
+		if vx.VNI != a.vni {
+			// Well-formed but a different tenant's segment: not ours to
+			// open — forward untouched.
+			return nil, decapPass
+		}
+		inner := vx.LayerPayload()
+		out := a.ring.take(len(inner))
+		copy(out, inner)
+		return out, decapOK
 	case a.mode == TunnelIPIP && v.Proto == packet.IPProtocolIPv4:
 		// Re-wrap the inner IP packet in an Ethernet frame toward the
 		// edge host.
-		innerEth := &packet.Ethernet{SrcMAC: a.localMAC, DstMAC: a.gwMAC, EtherType: packet.EtherTypeIPv4}
-		inner := packet.Payload(data[l4:])
-		opts := packet.SerializeOptions{}
-		if err := packet.SerializeLayers(a.buf, opts, innerEth, &inner); err != nil {
-			return nil, false
+		a.payload = packet.Payload(data[l4:])
+		if packet.SerializeLayers(a.buf, packet.SerializeOptions{}, a.ethStack...) != nil {
+			return nil, decapErr
 		}
-		out := make([]byte, a.buf.Len())
+		out := a.ring.take(a.buf.Len())
 		copy(out, a.buf.Bytes())
-		return out, true
+		return out, decapOK
 	}
-	return nil, false
+	return nil, decapPass
 }
 
 func min(a, b int) int {

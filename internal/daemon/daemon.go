@@ -19,6 +19,7 @@ import (
 	"flexsfp/internal/hls"
 	"flexsfp/internal/mgmt"
 	"flexsfp/internal/netsim"
+	"flexsfp/internal/overlay"
 	"flexsfp/internal/telemetry"
 	"flexsfp/internal/trafficgen"
 )
@@ -51,6 +52,10 @@ type Config struct {
 	// (GET /metrics, GET /traces). Requires Telemetry.
 	MetricsAddr string
 
+	// Overlay, when non-nil, hosts an overlay rendezvous and/or joins
+	// the daemon to a mesh fabric as a tunnel endpoint (see OverlayConfig).
+	Overlay *OverlayConfig
+
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -70,6 +75,20 @@ type Daemon struct {
 	httpLn   net.Listener
 	httpSrv  *http.Server
 	httpDone chan struct{} // closed when the HTTP serve loop exits
+
+	// Overlay mesh state (all nil/zero unless cfg.Overlay is set).
+	rdv     *overlay.Rendezvous
+	rdvSrv  *mgmt.Server
+	rdvAddr string
+	ovl     *overlay.Controller
+	ovlConn *mgmt.TCPTransport // non-nil when joined over TCP
+	ovlMu   sync.Mutex         // serializes OverlaySync calls
+	ovlStop chan struct{}      // non-nil when the periodic sync loop runs
+	ovlDone chan struct{}
+	// Last-sync stats mirrored under d.mu for the telemetry gauge funcs.
+	ovlGen    uint64
+	ovlPeers  int
+	ovlRoutes int
 
 	// mu serializes all access to the single-threaded simulator: mgmt
 	// handlers, HTTP snapshot reads, and the traffic pre-run.
@@ -98,6 +117,15 @@ func Start(cfg Config) (*Daemon, error) {
 		sim = sharded.Shard(0)
 	} else {
 		sim = build.NewSim(cfg.Seed)
+	}
+	if cfg.Overlay != nil && cfg.Overlay.IP != "" && cfg.App == "mesh" && cfg.ConfigJSON == "" {
+		// An overlay endpoint with no explicit app config encapsulates
+		// with exactly the parameters it registers.
+		js, err := cfg.Overlay.meshConfigJSON(cfg.DeviceID)
+		if err != nil {
+			return nil, err
+		}
+		cfg.ConfigJSON = js
 	}
 	var appCfg any
 	if cfg.ConfigJSON != "" {
@@ -197,6 +225,10 @@ func Start(cfg Config) (*Daemon, error) {
 		}
 		logf("metrics on http://%s/metrics", d.MetricsAddr())
 	}
+	if err := d.startOverlay(handler, logf); err != nil {
+		d.Close()
+		return nil, err
+	}
 	logf("management listening on %s", addr)
 	return d, nil
 }
@@ -233,6 +265,7 @@ func (d *Daemon) Registry() *telemetry.Registry { return d.reg }
 // after the HTTP serve goroutine has exited, so tests can assert no
 // goroutine leaks.
 func (d *Daemon) Close() error {
+	d.closeOverlay()
 	if d.httpSrv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), closeGrace)
 		if err := d.httpSrv.Shutdown(ctx); err != nil {

@@ -42,5 +42,9 @@ func init() {
 			Doc: "§4.2 chaos sweep: canary rollout under transport/flash/wedge faults"},
 		exp.Def{ID: "fleet_ota", RunFn: runFleetOTA, Hidden: true,
 			Doc: "sharded fleet controller: 100k-module OTA waves under chaos with bounded blast radius"},
+		exp.Def{ID: "overlay_linerate", RunFn: runOverlayLineRate, Hidden: true,
+			Doc: "overlay mesh: per-mode encap overhead vs the 10G line-rate identity across a 2-cable fabric"},
+		exp.Def{ID: "overlay_failover", RunFn: runOverlayFailover, Hidden: true,
+			Doc: "overlay mesh chaos: 8-cable fabric, VCSEL wear-out withdrawal + link flaps, re-route invariants"},
 	)
 }

@@ -33,7 +33,7 @@ func envelopeJSON(t *testing.T, name string, ctx exp.RunContext) []byte {
 // TestShardsByteIdenticalJSON is the acceptance pin: for every sharded
 // netsim experiment, shards ∈ {1, 2, 4, 8} produce byte-identical JSON.
 func TestShardsByteIdenticalJSON(t *testing.T) {
-	for _, name := range []string{"linerate", "reliability"} {
+	for _, name := range []string{"linerate", "reliability", "overlay_linerate", "overlay_failover"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()

@@ -57,6 +57,20 @@ func seedMessages() [][]byte {
 		Message{Type: MsgTraceDump, ReqID: 5, Body: traceBody.b}.Encode(),
 		Message{Type: MsgError, ReqID: 6, Body: errorBody(CodeBadBody, "x")}.Encode(),
 		Message{Type: MsgEEPROM, ReqID: 7}.Encode(),
+		Message{Type: MsgOverlayRegister, ReqID: 8, Body: EncodeOverlayRegister(OverlayEndpoint{
+			Name: "cable-0", IP: [4]byte{10, 254, 0, 1}, MAC: [6]byte{2, 0xcc, 0, 0, 0, 1},
+			Mode: 2, VNI: 4001, GREKey: 701,
+			Prefixes: []OverlayPrefix{{IP: [4]byte{10, 200, 1, 0}, Len: 24}},
+		})}.Encode(),
+		Message{Type: MsgOverlayWithdraw, ReqID: 9, Body: EncodeOverlayWithdraw("cable-0")}.Encode(),
+		Message{Type: MsgOverlayPeers, ReqID: 10}.Encode(),
+		Message{Type: MsgOK, ReqID: 11, Body: EncodeOverlayTable(OverlayTable{
+			Generation: 3,
+			Peers: []OverlayEndpoint{{Name: "cable-1", IP: [4]byte{10, 254, 0, 2},
+				MAC: [6]byte{2, 0xcc, 0, 0, 0, 2}, Mode: 1, GREKey: 702,
+				Prefixes: []OverlayPrefix{{IP: [4]byte{10, 200, 2, 0}, Len: 24, Priority: 1}}}},
+			Routes: []OverlayRoute{{Prefix: OverlayPrefix{IP: [4]byte{10, 200, 2, 0}, Len: 24}, Peer: 0}},
+		})}.Encode(),
 	}
 	// A few corrupted variants: truncated, bad magic, huge length.
 	seeds = append(seeds, seeds[0][:5])

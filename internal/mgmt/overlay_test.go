@@ -1,0 +1,187 @@
+package mgmt
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func overlayTestEndpoint(i byte) OverlayEndpoint {
+	return OverlayEndpoint{
+		Name:   "cable-" + string('0'+rune(i)),
+		ID:     uint16(i),
+		IP:     [4]byte{10, 254, 0, i},
+		MAC:    [6]byte{0x02, 0xcc, 0, 0, 0, i},
+		Mode:   1 + i%2,
+		VNI:    4000 + uint32(i),
+		GREKey: 700 + uint32(i),
+		Prefixes: []OverlayPrefix{
+			{IP: [4]byte{10, 200, i, 0}, Len: 24},
+			{IP: [4]byte{10, 201, i, 0}, Len: 24, Priority: 1},
+		},
+	}
+}
+
+// Table-driven round-trip vectors for every overlay body codec.
+func TestOverlayCodecRoundTrip(t *testing.T) {
+	t.Run("register", func(t *testing.T) {
+		for i := byte(0); i < 4; i++ {
+			want := overlayTestEndpoint(i)
+			got, err := DecodeOverlayRegister(EncodeOverlayRegister(want))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("endpoint %d: got %+v, want %+v", i, got, want)
+			}
+		}
+		// No prefixes is legal (a transit-only cable).
+		e := overlayTestEndpoint(0)
+		e.Prefixes = nil
+		if got, err := DecodeOverlayRegister(EncodeOverlayRegister(e)); err != nil || len(got.Prefixes) != 0 {
+			t.Fatalf("prefix-less endpoint: %+v, %v", got, err)
+		}
+	})
+	t.Run("withdraw", func(t *testing.T) {
+		got, err := DecodeOverlayWithdraw(EncodeOverlayWithdraw("cable-3"))
+		if err != nil || got != "cable-3" {
+			t.Fatalf("got %q, %v", got, err)
+		}
+	})
+	t.Run("generation", func(t *testing.T) {
+		for _, gen := range []uint64{0, 1, 1 << 40} {
+			got, err := DecodeOverlayGeneration(EncodeOverlayGeneration(gen))
+			if err != nil || got != gen {
+				t.Fatalf("gen %d: got %d, %v", gen, got, err)
+			}
+		}
+	})
+	t.Run("table", func(t *testing.T) {
+		want := OverlayTable{
+			Generation: 17,
+			Peers:      []OverlayEndpoint{overlayTestEndpoint(1), overlayTestEndpoint(2)},
+			Routes: []OverlayRoute{
+				{Prefix: OverlayPrefix{IP: [4]byte{10, 200, 1, 0}, Len: 24}, Peer: 1},
+				{Prefix: OverlayPrefix{IP: [4]byte{10, 200, 2, 0}, Len: 24}, Peer: 2},
+			},
+		}
+		got, err := DecodeOverlayTable(EncodeOverlayTable(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("got %+v, want %+v", got, want)
+		}
+		// Empty table round-trips too (pre-registration state).
+		empty := OverlayTable{Generation: 0}
+		if got, err := DecodeOverlayTable(EncodeOverlayTable(empty)); err != nil ||
+			got.Generation != 0 || len(got.Peers) != 0 || len(got.Routes) != 0 {
+			t.Fatalf("empty table: %+v, %v", got, err)
+		}
+	})
+}
+
+// Malformed bodies must fail with ErrBadBody, never panic or decode into
+// nonsense.
+func TestOverlayCodecRejectsMalformed(t *testing.T) {
+	validReg := EncodeOverlayRegister(overlayTestEndpoint(1))
+	validTable := EncodeOverlayTable(OverlayTable{
+		Generation: 1,
+		Peers:      []OverlayEndpoint{overlayTestEndpoint(1)},
+		Routes:     []OverlayRoute{{Prefix: OverlayPrefix{IP: [4]byte{10, 200, 1, 0}, Len: 24}, Peer: 1}},
+	})
+
+	vectors := []struct {
+		name   string
+		decode func([]byte) error
+		body   []byte
+	}{
+		{"register/truncated", decodeRegErr, validReg[:len(validReg)-3]},
+		{"register/trailing-bytes", decodeRegErr, append(append([]byte(nil), validReg...), 0xff)},
+		{"register/empty-name", decodeRegErr, EncodeOverlayRegister(OverlayEndpoint{})},
+		{"register/prefix-len-over-32", decodeRegErr, func() []byte {
+			e := overlayTestEndpoint(1)
+			e.Prefixes[0].Len = 33
+			return EncodeOverlayRegister(e)
+		}()},
+		{"register/prefix-count-lie", decodeRegErr, func() []byte {
+			b := append([]byte(nil), validReg...)
+			// The prefix count u16 sits 10 bytes from the end of the two
+			// 6-byte prefixes; easier: truncate one prefix off but keep
+			// the count.
+			return b[:len(b)-6]
+		}()},
+		{"withdraw/empty", decodeWithdrawErr, EncodeOverlayWithdraw("")},
+		{"withdraw/truncated", decodeWithdrawErr, []byte{0, 5, 'a'}},
+		{"generation/short", decodeGenErr, []byte{1, 2, 3}},
+		{"table/truncated", decodeTableErr, validTable[:len(validTable)-5]},
+		{"table/trailing-bytes", decodeTableErr, append(append([]byte(nil), validTable...), 1)},
+		{"table/route-peer-unknown-id", decodeTableErr, func() []byte {
+			b := append([]byte(nil), validTable...)
+			b[len(b)-1] = 9 // route's peer id — no peer has id 9
+			return b
+		}()},
+	}
+	for _, vec := range vectors {
+		t.Run(vec.name, func(t *testing.T) {
+			if err := vec.decode(vec.body); err == nil {
+				t.Fatal("malformed body accepted")
+			} else if !errors.Is(err, ErrBadBody) {
+				t.Fatalf("err = %v, want ErrBadBody", err)
+			}
+		})
+	}
+}
+
+func decodeRegErr(b []byte) error      { _, err := DecodeOverlayRegister(b); return err }
+func decodeWithdrawErr(b []byte) error { _, err := DecodeOverlayWithdraw(b); return err }
+func decodeGenErr(b []byte) error      { _, err := DecodeOverlayGeneration(b); return err }
+func decodeTableErr(b []byte) error    { _, err := DecodeOverlayTable(b); return err }
+
+// The client methods speak the right message types and decode replies;
+// the fake rendezvous answers from the codec, so this also pins the
+// request bodies to what a real rendezvous expects.
+func TestClientOverlayMethods(t *testing.T) {
+	table := OverlayTable{Generation: 2, Peers: []OverlayEndpoint{overlayTestEndpoint(1)}}
+	var gotTypes []MsgType
+	c := NewClient(TransportFunc(func(req []byte) ([]byte, error) {
+		msg, err := DecodeMessage(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotTypes = append(gotTypes, msg.Type)
+		switch msg.Type {
+		case MsgOverlayRegister:
+			if _, err := DecodeOverlayRegister(msg.Body); err != nil {
+				t.Fatalf("register body: %v", err)
+			}
+			return Message{Type: MsgOK, ReqID: msg.ReqID, Body: EncodeOverlayGeneration(1)}.Encode(), nil
+		case MsgOverlayWithdraw:
+			name, err := DecodeOverlayWithdraw(msg.Body)
+			if err != nil || name != "cable-1" {
+				t.Fatalf("withdraw body: %q, %v", name, err)
+			}
+			return Message{Type: MsgOK, ReqID: msg.ReqID, Body: EncodeOverlayGeneration(2)}.Encode(), nil
+		case MsgOverlayPeers:
+			return Message{Type: MsgOK, ReqID: msg.ReqID, Body: EncodeOverlayTable(table)}.Encode(), nil
+		}
+		return Message{Type: MsgError, ReqID: msg.ReqID, Body: errorBody(CodeUnknownType, "?")}.Encode(), nil
+	}))
+
+	gen, err := c.OverlayRegister(overlayTestEndpoint(1))
+	if err != nil || gen != 1 {
+		t.Fatalf("register: gen %d, %v", gen, err)
+	}
+	got, err := c.OverlayPeers()
+	if err != nil || !reflect.DeepEqual(got, table) {
+		t.Fatalf("peers: %+v, %v", got, err)
+	}
+	gen, err = c.OverlayWithdraw("cable-1")
+	if err != nil || gen != 2 {
+		t.Fatalf("withdraw: gen %d, %v", gen, err)
+	}
+	want := []MsgType{MsgOverlayRegister, MsgOverlayPeers, MsgOverlayWithdraw}
+	if !reflect.DeepEqual(gotTypes, want) {
+		t.Fatalf("message types = %v, want %v", gotTypes, want)
+	}
+}

@@ -61,6 +61,14 @@ const (
 	// optional u32 cap on the number of most-recent events; response body:
 	// JSON-encoded []telemetry.TraceEvent).
 	MsgTraceDump
+	// Overlay rendezvous ops: served by an overlay.Rendezvous rather
+	// than a cable agent. A cable registers its overlay endpoint and
+	// announced prefixes (MsgOverlayRegister → u64 table generation),
+	// withdraws an endpoint by name (MsgOverlayWithdraw), and fetches
+	// the fabric-wide peer/route table (MsgOverlayPeers → OverlayTable).
+	MsgOverlayRegister
+	MsgOverlayWithdraw
+	MsgOverlayPeers
 )
 
 // Error codes carried in MsgError.

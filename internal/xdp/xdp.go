@@ -264,7 +264,11 @@ func (p *Program) Run(pkt []byte) (action int, err error) {
 				continue
 			}
 		case OpExit:
-			return int(r[0]), nil
+			// BPF programs return u32: the exit value is r0's low 32
+			// bits, never a sign-extended 64-bit register image (a
+			// hostile program could otherwise exit with a negative
+			// "action").
+			return int(uint32(r[0])), nil
 		}
 		pc++
 	}
